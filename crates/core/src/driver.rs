@@ -1,0 +1,310 @@
+//! The EulerFD double-cycle driver (Section IV, Figure 1).
+//!
+//! Orchestrates the four modules:
+//!
+//! ```text
+//!            ┌────────────┐   GR_Ncover > Th_Ncover   ┌──────────┐
+//! preprocess │  sampling  │ ◀───────────────────────── │  Ncover  │
+//! ────────▶  │ (MLFQ+win) │ ─────────────────────────▶ │  build   │ (cycle 1)
+//!            └────────────┘                            └────┬─────┘
+//!                  ▲                                        │ GR_Ncover ≤ Th
+//!                  │ GR_Pcover > Th_Pcover             ┌────▼─────┐
+//!                  └────────────────────────────────── │ inversion│ (cycle 2)
+//!                                                      └────┬─────┘
+//!                                                           ▼ GR_Pcover ≤ Th
+//!                                                        Pcover (FDs)
+//! ```
+//!
+//! Preprocessing is the dictionary encoding already carried by
+//! [`fd_relation::Relation`]; negative-cover construction is incremental
+//! (each sampled agree set is folded into the maximal-non-FD trees on the
+//! spot), so the cycle-1 check reduces to measuring how much the cover grew
+//! during the latest sampling batch.
+
+use crate::config::EulerFdConfig;
+use crate::sampler::{Sampler, SamplerStats};
+use fd_core::{AttrId, AttrSet, Fd, FdSet, InvertDelta, NCover, PCover};
+use fd_relation::{FdAlgorithm, Relation};
+
+/// The EulerFD approximate discovery algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct EulerFd {
+    config: EulerFdConfig,
+}
+
+/// Everything a run reports besides the FDs themselves — the harness feeds
+/// these numbers into the paper's tables and figures.
+#[derive(Clone, Debug, Default)]
+pub struct EulerFdReport {
+    /// Sampling counters.
+    pub sampler: SamplerStats,
+    /// `GR_Ncover` measured after each sampling batch (cycle 1 history).
+    pub gr_ncover: Vec<f64>,
+    /// `GR_Pcover` measured after each inversion (cycle 2 history).
+    pub gr_pcover: Vec<f64>,
+    /// Inversion phases executed.
+    pub inversions: usize,
+    /// Maximal non-FDs in the final negative cover.
+    pub ncover_size: usize,
+    /// FDs in the final positive cover.
+    pub pcover_size: usize,
+    /// Candidate churn summed over all inversions.
+    pub invert_delta: InvertDelta,
+}
+
+impl EulerFd {
+    /// EulerFD with the paper's default parameters
+    /// (`Th_Ncover = Th_Pcover = 0.01`, 6 MLFQ queues).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// EulerFD with an explicit configuration.
+    pub fn with_config(config: EulerFdConfig) -> Self {
+        EulerFd { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EulerFdConfig {
+        &self.config
+    }
+
+    /// Runs discovery and returns the FDs together with the run report.
+    pub fn discover_with_report(&self, relation: &Relation) -> (FdSet, EulerFdReport) {
+        let m = relation.n_attrs();
+        let mut report = EulerFdReport::default();
+        let mut ncover = NCover::new(m);
+        let mut pcover = PCover::initialized(m);
+        // Non-FDs awaiting inversion, in arrival order.
+        let mut pending: Vec<Fd> = Vec::new();
+
+        // ∅-level evidence is free: every non-constant column is violated by
+        // some pair (pairs with empty agree sets are outside all clusters,
+        // so sampling alone would never produce these non-FDs).
+        for a in 0..m as AttrId {
+            if relation.n_distinct(a) > 1 && ncover.add(Fd::new(AttrSet::empty(), a)) {
+                pending.push(Fd::new(AttrSet::empty(), a));
+            }
+        }
+
+        let mut sampler = Sampler::new(relation, &self.config);
+        sampler.initial_pass(relation, &mut ncover, &mut pending);
+
+        // Algorithm 1 runs the MLFQ to exhaustion per sampling phase; the
+        // batch bound (ablation knob) can hand control back to the growth
+        // check earlier. The default is a full drain, like the paper.
+        let batch = if self.config.batch_factor.is_finite() {
+            ((sampler.stats().clusters_total as f64 * self.config.batch_factor) as usize)
+                .max(self.config.min_batch)
+        } else {
+            usize::MAX
+        };
+
+        loop {
+            // ── Cycle 1: sample while the negative cover keeps growing.
+            // GR_Ncover is the fraction of *additions* relative to the cover
+            // size before the phase ("percentage of additions", V-F). When
+            // the growth rate says "keep sampling" but the queue has
+            // drained, retired clusters are revived for another pass.
+            loop {
+                let size_before = ncover.len();
+                let adds_before = ncover.insertions();
+                let mut sampled_any = false;
+                for _ in 0..batch {
+                    if !sampler.sample_next(relation, &mut ncover, &mut pending) {
+                        break;
+                    }
+                    sampled_any = true;
+                }
+                let added = ncover.insertions() - adds_before;
+                let gr = added as f64 / size_before.max(1) as f64;
+                report.gr_ncover.push(gr);
+                if gr <= self.config.th_ncover && sampled_any {
+                    break; // the cover stabilized: move to inversion
+                }
+                if sampler.is_exhausted()
+                    && (!self.config.enable_revival || sampler.revive_retired() == 0)
+                {
+                    break; // nothing left to sample
+                }
+            }
+
+            // ── Inversion + cycle 2: stop unless Pcover churns enough. ──
+            // Processing the most specialized non-FDs first (Algorithm 2's
+            // sort) prunes each candidate once instead of re-specializing it
+            // repeatedly as more general evidence arrives.
+            let before_p = pcover.len();
+            let mut delta = InvertDelta::default();
+            pending.sort_by_key(|fd| std::cmp::Reverse(fd.lhs.len()));
+            for non_fd in pending.drain(..) {
+                delta += pcover.invert(non_fd);
+            }
+            report.inversions += 1;
+            report.invert_delta += delta;
+            let gr_p = delta.added as f64 / before_p.max(1) as f64;
+            report.gr_pcover.push(gr_p);
+            // A positive threshold stops on stability; a threshold of
+            // exactly 0 demands full enumeration (an idle inversion does not
+            // prove the remaining windows barren), so only the sampling
+            // check below may terminate the run then.
+            if self.config.th_pcover > 0.0 && gr_p <= self.config.th_pcover {
+                break;
+            }
+            // Return to the sampling module. If the MLFQ drained during
+            // cycle 1, revive the retired (but not yet fully enumerated)
+            // clusters; when nothing is left to sample at all, more cycles
+            // cannot change the answer.
+            if sampler.is_exhausted()
+                && (!self.config.enable_revival || sampler.revive_retired() == 0)
+            {
+                break;
+            }
+        }
+
+        report.sampler = sampler.stats().clone();
+        report.ncover_size = ncover.len();
+        let fds = pcover.to_fdset();
+        report.pcover_size = fds.len();
+        (fds, report)
+    }
+}
+
+impl FdAlgorithm for EulerFd {
+    fn name(&self) -> &str {
+        "EulerFD"
+    }
+
+    fn discover(&self, relation: &Relation) -> FdSet {
+        self.discover_with_report(relation).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_relation::synth::patient;
+
+    #[test]
+    fn eulerfd_is_exact_on_the_patient_dataset() {
+        // Tiny data: sampling exhausts every pair, so the result must be
+        // the exact cover of Table I — including the worked examples.
+        let r = patient();
+        let (fds, report) = EulerFd::new().discover_with_report(&r);
+        assert!(fds.is_minimal_cover());
+        assert!(fds.contains(&Fd::new(AttrSet::from_attrs([1u16, 2]), 4))); // AB → M
+        assert!(!fds.contains(&Fd::new(AttrSet::single(3), 4))); // G ↛ M
+        assert!(report.inversions >= 1);
+        assert_eq!(report.pcover_size, fds.len());
+        assert!(report.sampler.pairs_compared > 0);
+    }
+
+    #[test]
+    fn report_histories_are_populated() {
+        let r = fd_relation::synth::dataset_spec("abalone").unwrap().generate(1000);
+        let (_, report) = EulerFd::new().discover_with_report(&r);
+        assert!(!report.gr_ncover.is_empty());
+        assert_eq!(report.gr_pcover.len(), report.inversions);
+        assert!(report.ncover_size > 0);
+    }
+
+    #[test]
+    fn zero_thresholds_exhaust_all_sampling() {
+        // With both thresholds at 0, EulerFD keeps cycling until the MLFQ is
+        // fully drained, making it equivalent to exhaustive induction.
+        let r = patient();
+        let euler =
+            EulerFd::with_config(EulerFdConfig::with_thresholds(0.0, 0.0));
+        let fds = euler.discover(&r);
+        let truth = fd_baselines_equiv(&r);
+        assert_eq!(fds, truth);
+    }
+
+    /// Local exhaustive induction (mirrors Fdep) to avoid a dependency on
+    /// the baselines crate from inside the core crate's tests.
+    fn fd_baselines_equiv(r: &Relation) -> FdSet {
+        let mut ncover = NCover::new(r.n_attrs());
+        for a in 0..r.n_attrs() as AttrId {
+            if r.n_distinct(a) > 1 {
+                ncover.add(Fd::new(AttrSet::empty(), a));
+            }
+        }
+        for t in 0..r.n_rows() as u32 {
+            for u in t + 1..r.n_rows() as u32 {
+                ncover.add_agree_set(r.agree_set(t, u));
+            }
+        }
+        fd_core::invert_ncover(&ncover).to_fdset()
+    }
+
+    #[test]
+    fn constant_column_reported_as_empty_lhs_fd() {
+        let r = Relation::from_encoded_columns(
+            "c",
+            vec!["k".into(), "c".into(), "x".into()],
+            vec![vec![0, 1, 2, 3], vec![0, 0, 0, 0], vec![0, 0, 1, 1]],
+        );
+        let fds = EulerFd::new().discover(&r);
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 1)));
+    }
+
+    #[test]
+    fn queue_count_one_still_terminates() {
+        let r = patient();
+        let euler = EulerFd::with_config(EulerFdConfig::with_queues(1));
+        let fds = euler.discover(&r);
+        assert!(fds.is_minimal_cover());
+    }
+
+    #[test]
+    fn single_row_relation_has_no_evidence() {
+        // One tuple: no pairs exist, every column is "constant", so the
+        // most general cover ∅ → A is correct for every attribute.
+        let r = Relation::from_encoded_columns(
+            "one",
+            vec!["a".into(), "b".into()],
+            vec![vec![0], vec![0]],
+        );
+        let fds = EulerFd::new().discover(&r);
+        assert_eq!(fds.len(), 2);
+        assert!(fds.iter().all(|fd| fd.lhs.is_empty()));
+    }
+
+    #[test]
+    fn empty_relation_yields_constant_cover() {
+        let r = Relation::from_encoded_columns(
+            "empty",
+            vec!["a".into(), "b".into()],
+            vec![vec![], vec![]],
+        );
+        let (fds, report) = EulerFd::new().discover_with_report(&r);
+        // Vacuously, ∅ → A holds for every attribute; nothing was sampled.
+        assert_eq!(fds.len(), 2);
+        assert_eq!(report.sampler.pairs_compared, 0);
+    }
+
+    #[test]
+    fn all_identical_rows_are_all_constants() {
+        let r = Relation::from_encoded_columns(
+            "same",
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![vec![0; 5], vec![0; 5], vec![0; 5]],
+        );
+        let fds = EulerFd::new().discover(&r);
+        assert_eq!(fds.len(), 3);
+        assert!(fds.iter().all(|fd| fd.lhs.is_empty()));
+    }
+
+    #[test]
+    fn two_column_duplicate_detection() {
+        // Classic dictionary-equal columns: each determines the other,
+        // regardless of sampling order.
+        let r = Relation::from_encoded_columns(
+            "dup",
+            vec!["x".into(), "y".into()],
+            vec![vec![0, 1, 2, 1, 0], vec![0, 1, 2, 1, 0]],
+        );
+        let fds = EulerFd::new().discover(&r);
+        assert!(fds.contains(&Fd::new(AttrSet::single(0), 1)));
+        assert!(fds.contains(&Fd::new(AttrSet::single(1), 0)));
+    }
+}

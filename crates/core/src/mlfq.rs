@@ -1,0 +1,141 @@
+//! Multilevel feedback queue over sampling clusters (Section IV-C).
+//!
+//! Borrowed from CPU scheduling [7]: clusters play the role of processes and
+//! their observed `capa` (new non-FDs per compared pair in the latest
+//! sample) plays the role of observed behaviour. Clusters with high capa are
+//! queued at high priority and therefore suggested as the sampling range
+//! first; zero-capa clusters sink to the lowest queue, which drains in
+//! round-robin order so rare non-FDs hiding in unproductive clusters still
+//! get their turn (the *coverage* requirement).
+
+use std::collections::VecDeque;
+
+/// Index of a cluster in the sampler's cluster table.
+pub type ClusterId = u32;
+
+/// The MLFQ: one FIFO per priority level with capa lower bounds.
+#[derive(Clone, Debug)]
+pub struct Mlfq {
+    queues: Vec<VecDeque<ClusterId>>,
+    /// Lower capa bound per queue, descending; the last is always 0.
+    bounds: Vec<f64>,
+    len: usize,
+}
+
+impl Mlfq {
+    /// Creates an MLFQ with the given per-queue capa lower bounds (highest
+    /// priority first, as produced by [`crate::config::mlfq_ranges`]).
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "MLFQ needs at least one queue");
+        let queues = (0..bounds.len()).map(|_| VecDeque::new()).collect();
+        Mlfq { queues, bounds, len: 0 }
+    }
+
+    /// Number of queues.
+    pub fn n_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Clusters currently enqueued (`currentClusterNum` in Algorithm 1).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no cluster is enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The queue a given capa value maps to.
+    pub fn queue_for(&self, capa: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| capa >= b)
+            .unwrap_or(self.queues.len() - 1)
+    }
+
+    /// Enqueues `cluster` at the tail of the queue matching `capa`.
+    pub fn push(&mut self, cluster: ClusterId, capa: f64) {
+        let q = self.queue_for(capa);
+        self.queues[q].push_back(cluster);
+        self.len += 1;
+    }
+
+    /// Dequeues the head of the highest-priority non-empty queue
+    /// (Algorithm 1 lines 6–10).
+    pub fn pop(&mut self) -> Option<ClusterId> {
+        for q in &mut self.queues {
+            if let Some(c) = q.pop_front() {
+                self.len -= 1;
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Occupancy per queue, highest priority first (diagnostics).
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::mlfq_ranges;
+
+    #[test]
+    fn queue_selection_follows_table_4() {
+        let q = Mlfq::new(mlfq_ranges(6));
+        assert_eq!(q.queue_for(1000.0), 0); // [10, ∞)
+        assert_eq!(q.queue_for(10.0), 0);
+        assert_eq!(q.queue_for(9.99), 1); // [1, 10)
+        assert_eq!(q.queue_for(1.25), 1); // the paper's Figure 3: capa 1.25 → q2
+        assert_eq!(q.queue_for(0.8), 2); // Figure 3: capa 0.8 → q3
+        assert_eq!(q.queue_for(0.005), 4);
+        assert_eq!(q.queue_for(0.0), 5); // capa 0 sinks to q_z
+    }
+
+    #[test]
+    fn pop_prefers_higher_priority() {
+        let mut q = Mlfq::new(mlfq_ranges(3));
+        q.push(1, 0.0); // lowest
+        q.push(2, 50.0); // highest
+        q.push(3, 2.0); // middle
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_queue_is_fifo() {
+        let mut q = Mlfq::new(mlfq_ranges(2));
+        q.push(7, 0.5);
+        q.push(8, 0.5);
+        q.push(9, 0.5);
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), Some(8));
+        assert_eq!(q.pop(), Some(9));
+    }
+
+    #[test]
+    fn single_queue_degenerates_to_round_robin() {
+        let mut q = Mlfq::new(mlfq_ranges(1));
+        q.push(1, 100.0);
+        q.push(2, 0.0);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn occupancy_reports_per_queue() {
+        let mut q = Mlfq::new(mlfq_ranges(3));
+        q.push(1, 20.0);
+        q.push(2, 20.0);
+        q.push(3, 0.0);
+        assert_eq!(q.occupancy(), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,320 @@
+//! The EulerFD sampling module (Section IV-C, Algorithm 1).
+//!
+//! Combines the MLFQ across clusters (which *suggests the sampling range*)
+//! with a sliding window inside each cluster (which enumerates tuple pairs
+//! without repetition). Each `sample()` call compares the pairs at the
+//! cluster's current window distance, measures the sample's contribution
+//!
+//! ```text
+//! capa = new non-FDs / tuple pairs compared in this sample
+//! ```
+//!
+//! and requeues the cluster by that capa — unless its average capa over the
+//! most recent samples dropped to 0, in which case it retires.
+
+use crate::config::EulerFdConfig;
+use crate::mlfq::{ClusterId, Mlfq};
+use fd_core::{AttrSet, FastHashSet, Fd, NCover};
+use fd_relation::{sampling_clusters, Relation, RowId};
+use std::collections::VecDeque;
+
+/// Counters exposed in the discovery report.
+#[derive(Clone, Debug, Default)]
+pub struct SamplerStats {
+    /// Total tuple pairs compared.
+    pub pairs_compared: u64,
+    /// `sample()` invocations.
+    pub samples: u64,
+    /// Clusters in the initial population.
+    pub clusters_total: usize,
+    /// Cluster retirement events under the zero-capa rule (a revived cluster
+    /// can retire again).
+    pub clusters_retired: usize,
+    /// Clusters that ran out of window positions.
+    pub clusters_exhausted: usize,
+    /// Clusters re-enqueued by cycle 2 after the MLFQ drained.
+    pub revivals: usize,
+}
+
+/// Sampling state of one cluster.
+struct ClusterState {
+    rows: Vec<RowId>,
+    /// Current window size; the pair compared at position `i` is
+    /// `(rows[i], rows[i + window - 1])`. Starts at 2 and grows by one per
+    /// sample, so no pair is ever compared twice.
+    window: usize,
+    /// capa values of the most recent samples (bounded FIFO).
+    recent: VecDeque<f64>,
+}
+
+/// The sampling module: cluster population + MLFQ + agree-set dedup.
+pub struct Sampler {
+    clusters: Vec<ClusterState>,
+    mlfq: Mlfq,
+    /// Clusters retired by the zero-capa rule but not yet fully enumerated;
+    /// cycle 2 revives these when the positive cover is still unstable.
+    retired: Vec<ClusterId>,
+    seen_agree: FastHashSet<AttrSet>,
+    recent_window: usize,
+    stats: SamplerStats,
+}
+
+impl Sampler {
+    /// Builds the cluster population from the relation's stripped
+    /// partitions; the MLFQ starts empty until [`Sampler::initial_pass`].
+    pub fn new(relation: &Relation, config: &EulerFdConfig) -> Self {
+        let clusters: Vec<ClusterState> = sampling_clusters(relation)
+            .into_iter()
+            .map(|rows| ClusterState { rows, window: 2, recent: VecDeque::new() })
+            .collect();
+        let stats = SamplerStats { clusters_total: clusters.len(), ..Default::default() };
+        Sampler {
+            clusters,
+            mlfq: Mlfq::new(config.queue_bounds()),
+            retired: Vec::new(),
+            seen_agree: FastHashSet::default(),
+            recent_window: config.recent_window.max(1),
+            stats,
+        }
+    }
+
+    /// Algorithm 1 lines 2–4: sample every cluster once with the initial
+    /// window of 2 and enqueue it by the observed capa.
+    pub fn initial_pass(&mut self, relation: &Relation, ncover: &mut NCover, pending: &mut Vec<Fd>) {
+        for id in 0..self.clusters.len() {
+            self.sample_cluster(id as ClusterId, relation, ncover, pending);
+        }
+    }
+
+    /// Algorithm 1 lines 5–10: one sample of the head of the highest
+    /// non-empty queue. Returns false when the MLFQ is empty.
+    pub fn sample_next(
+        &mut self,
+        relation: &Relation,
+        ncover: &mut NCover,
+        pending: &mut Vec<Fd>,
+    ) -> bool {
+        match self.mlfq.pop() {
+            Some(id) => {
+                self.sample_cluster(id, relation, ncover, pending);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Algorithm 1 lines 13–21 (`sample(cluster)`).
+    fn sample_cluster(
+        &mut self,
+        id: ClusterId,
+        relation: &Relation,
+        ncover: &mut NCover,
+        pending: &mut Vec<Fd>,
+    ) {
+        let state = &mut self.clusters[id as usize];
+        let len = state.rows.len();
+        let window = state.window;
+        if window > len {
+            self.stats.clusters_exhausted += 1;
+            return; // no pair left at any position; cluster is spent
+        }
+        let mut new_non_fds = 0usize;
+        let pairs = len - window + 1;
+        for i in 0..pairs {
+            let t = state.rows[i];
+            let u = state.rows[i + window - 1];
+            let agree = relation.agree_set(t, u);
+            if self.seen_agree.insert(agree) {
+                new_non_fds += ncover.add_agree_set_collect(agree, pending);
+            }
+        }
+        self.stats.pairs_compared += pairs as u64;
+        self.stats.samples += 1;
+
+        let capa = new_non_fds as f64 / pairs as f64;
+        let state = &mut self.clusters[id as usize];
+        if state.recent.len() == self.recent_window {
+            state.recent.pop_front();
+        }
+        state.recent.push_back(capa);
+        state.window += 1;
+
+        // Requeue while the recent average capa is positive (line 17). A
+        // cluster only retires once a full recent window of samples is all
+        // zero — one unproductive sample first sinks it to the lowest queue
+        // and "waits for continuous sampling" (Figure 3 narrative). The
+        // window bound retires clusters that are fully enumerated.
+        let avg: f64 = state.recent.iter().sum::<f64>() / state.recent.len() as f64;
+        if state.window > state.rows.len() {
+            self.stats.clusters_exhausted += 1;
+        } else if avg > 0.0 || state.recent.len() < self.recent_window {
+            self.mlfq.push(id, capa);
+        } else {
+            self.retired.push(id);
+            self.stats.clusters_retired += 1;
+        }
+    }
+
+    /// True when no cluster is queued for further sampling.
+    pub fn is_exhausted(&self) -> bool {
+        self.mlfq.is_empty()
+    }
+
+    /// Cycle 2's "return to the sampling module" when the queue has already
+    /// drained: re-enqueues every retired-but-not-exhausted cluster (with a
+    /// cleared capa history, so each gets a fresh recent window before it
+    /// can retire again). Returns how many clusters were revived.
+    pub fn revive_retired(&mut self) -> usize {
+        let mut revived = 0;
+        for id in std::mem::take(&mut self.retired) {
+            let state = &mut self.clusters[id as usize];
+            if state.window > state.rows.len() {
+                continue; // fully enumerated since retirement bookkeeping
+            }
+            state.recent.clear();
+            self.mlfq.push(id, 0.0);
+            revived += 1;
+        }
+        self.stats.revivals += revived;
+        revived
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &SamplerStats {
+        &self.stats
+    }
+
+    /// Current queue occupancy (diagnostics / report).
+    pub fn mlfq_occupancy(&self) -> Vec<usize> {
+        self.mlfq.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_relation::synth::patient;
+
+    fn setup() -> (Relation, Sampler, NCover, Vec<Fd>) {
+        let r = patient();
+        let config = EulerFdConfig::default();
+        let sampler = Sampler::new(&r, &config);
+        let ncover = NCover::new(r.n_attrs());
+        (r, sampler, ncover, Vec::new())
+    }
+
+    #[test]
+    fn initial_pass_samples_every_cluster_once() {
+        let (r, mut sampler, mut ncover, mut pending) = setup();
+        let n_clusters = sampler.clusters.len();
+        assert!(n_clusters > 0);
+        sampler.initial_pass(&r, &mut ncover, &mut pending);
+        assert_eq!(sampler.stats().samples, n_clusters as u64);
+        // Window-2 comparisons of clustered tuples must surface non-FDs on
+        // the patient data (e.g. G ↛ N from the Gender cluster).
+        assert!(!ncover.is_empty());
+        assert!(!pending.is_empty());
+    }
+
+    #[test]
+    fn window_grows_and_pairs_are_never_repeated() {
+        let (r, mut sampler, mut ncover, mut pending) = setup();
+        sampler.initial_pass(&r, &mut ncover, &mut pending);
+        let mut total = sampler.stats().pairs_compared;
+        while sampler.sample_next(&r, &mut ncover, &mut pending) {
+            let now = sampler.stats().pairs_compared;
+            assert!(now >= total);
+            total = now;
+        }
+        // Exhaustive bound: a cluster of size k has k·(k−1)/2 distinct pairs.
+        let max_pairs: u64 = sampler
+            .clusters
+            .iter()
+            .map(|c| (c.rows.len() * (c.rows.len() - 1) / 2) as u64)
+            .sum();
+        assert!(total <= max_pairs, "compared {total} > possible {max_pairs}");
+    }
+
+    #[test]
+    fn figure_3_window_positions() {
+        // The paper's Figure 3 cluster c1 = Gender's Female cluster
+        // {t1,t3,t4,t5,t6,t7}: window 2 yields 5 pairs, window 3 yields 4,
+        // window 4 yields 3.
+        let (r, mut sampler, mut ncover, mut pending) = setup();
+        let c1 = sampler
+            .clusters
+            .iter()
+            .position(|c| c.rows == vec![0, 2, 3, 4, 5, 6])
+            .expect("Female cluster present") as ClusterId;
+        sampler.sample_cluster(c1, &r, &mut ncover, &mut pending);
+        assert_eq!(sampler.stats().pairs_compared, 5);
+        sampler.sample_cluster(c1, &r, &mut ncover, &mut pending);
+        assert_eq!(sampler.stats().pairs_compared, 9);
+        sampler.sample_cluster(c1, &r, &mut ncover, &mut pending);
+        assert_eq!(sampler.stats().pairs_compared, 12);
+    }
+
+    #[test]
+    fn revival_requeues_only_unexhausted_clusters() {
+        let (r, mut sampler, mut ncover, mut pending) = setup();
+        sampler.initial_pass(&r, &mut ncover, &mut pending);
+        while sampler.sample_next(&r, &mut ncover, &mut pending) {}
+        assert!(sampler.is_exhausted());
+        let retired_before = sampler.retired.len();
+        let revived = sampler.revive_retired();
+        assert_eq!(revived, retired_before, "all retirees still have windows left");
+        assert_eq!(sampler.stats().revivals, revived);
+        if revived > 0 {
+            assert!(!sampler.is_exhausted());
+            // Revived clusters sample again without panicking and without
+            // repeating pairs (window monotonicity is preserved).
+            let pairs_before = sampler.stats().pairs_compared;
+            while sampler.sample_next(&r, &mut ncover, &mut pending) {}
+            assert!(sampler.stats().pairs_compared >= pairs_before);
+        }
+        // Drain-revive loops terminate: windows only grow.
+        let mut rounds = 0;
+        while sampler.revive_retired() > 0 {
+            while sampler.sample_next(&r, &mut ncover, &mut pending) {}
+            rounds += 1;
+            assert!(rounds < 100, "revival must terminate");
+        }
+    }
+
+    #[test]
+    fn revival_clears_recent_history() {
+        let (r, mut sampler, mut ncover, mut pending) = setup();
+        sampler.initial_pass(&r, &mut ncover, &mut pending);
+        while sampler.sample_next(&r, &mut ncover, &mut pending) {}
+        if sampler.revive_retired() > 0 {
+            // Every revived cluster gets a full fresh recent window before it
+            // can retire again: one zero-capa sample must not retire it.
+            let before = sampler.stats().clusters_retired;
+            let popped = sampler.mlfq.pop().expect("revived cluster queued");
+            sampler.sample_cluster(popped, &r, &mut ncover, &mut pending);
+            let state = &sampler.clusters[popped as usize];
+            if state.window <= state.rows.len() {
+                assert_eq!(
+                    sampler.stats().clusters_retired,
+                    before,
+                    "first post-revival sample must not retire the cluster"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capa_twice_retires_a_cluster() {
+        let (r, mut sampler, mut ncover, mut pending) = setup();
+        // Exhaust all evidence first so every further sample has capa 0.
+        sampler.initial_pass(&r, &mut ncover, &mut pending);
+        while sampler.sample_next(&r, &mut ncover, &mut pending) {}
+        assert!(sampler.is_exhausted());
+        let s = sampler.stats();
+        assert_eq!(
+            s.clusters_total,
+            s.clusters_retired + s.clusters_exhausted,
+            "every cluster ends retired or exhausted: {s:?}"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Dep-Miner [22] — exact discovery via agree-set maximization and
+//! level-wise left-hand-side generation.
+//!
+//! The other member of the paper's difference-/agree-set family
+//! (Section II-A). Dep-Miner shares FastFDs' substrate — maximal agree sets
+//! per RHS — but replaces the depth-first cover search with an Apriori-style
+//! level-wise generation of minimal transversals:
+//!
+//! 1. collect maximal agree sets (as in FastFDs);
+//! 2. per RHS `A`, the complements `R ∖ S ∖ {A}` must each be *hit* by any
+//!    valid LHS;
+//! 3. level 1 candidates are the single attributes occurring in some
+//!    complement; a candidate hitting every complement is a minimal FD LHS
+//!    and is not extended; the rest are joined pairwise (shared prefix) into
+//!    the next level, pruning supersets of found covers.
+//!
+//! Every minimal transversal is reached because all proper subsets of a
+//! minimal transversal are non-covers and therefore survive to be joined.
+
+use crate::agree::AgreeSetCollector;
+use fd_core::{AttrId, AttrSet, Fd, FdSet, NCover};
+use fd_relation::{FdAlgorithm, Relation};
+
+/// The Dep-Miner exact discovery algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DepMiner {
+    /// Abort (returning an empty set) beyond this many intra-cluster pair
+    /// comparisons; `None` = unbounded.
+    pub max_pairs: Option<u64>,
+}
+
+impl DepMiner {
+    /// Unbounded Dep-Miner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dep-Miner with a pair-comparison budget.
+    pub fn with_pair_limit(max_pairs: u64) -> Self {
+        DepMiner { max_pairs: Some(max_pairs) }
+    }
+
+    /// Collects maximal agree sets per missing attribute, reusing the
+    /// NCover machinery (a maximal agree set not containing `A` is exactly a
+    /// maximal non-FD LHS for RHS `A`).
+    fn maximal_agree_sets(&self, relation: &Relation) -> Option<NCover> {
+        let mut collector = AgreeSetCollector::new();
+        collector.max_pairs = self.max_pairs;
+        collector.collect(relation)
+    }
+}
+
+impl FdAlgorithm for DepMiner {
+    fn name(&self) -> &str {
+        "Dep-Miner"
+    }
+
+    fn discover(&self, relation: &Relation) -> FdSet {
+        let m = relation.n_attrs();
+        let ncover = match self.maximal_agree_sets(relation) {
+            Some(n) => n,
+            None => return FdSet::new(),
+        };
+        let full = AttrSet::full(m);
+        let mut out = FdSet::new();
+        for rhs in 0..m as AttrId {
+            if relation.n_distinct(rhs) <= 1 {
+                out.insert(Fd::new(AttrSet::empty(), rhs));
+                continue;
+            }
+            let complements: Vec<AttrSet> = ncover
+                .tree(rhs)
+                .to_vec()
+                .into_iter()
+                .map(|agree| full.difference(&agree).without(rhs))
+                .collect();
+            if complements.iter().any(|d| d.is_empty()) {
+                continue; // some pair agrees everywhere else: rhs underivable
+            }
+            for lhs in levelwise_transversals(&complements) {
+                out.insert(Fd::new(lhs, rhs));
+            }
+        }
+        out
+    }
+}
+
+/// Level-wise minimal-transversal enumeration (Dep-Miner's
+/// `gen_lhs`/Apriori-style loop).
+fn levelwise_transversals(complements: &[AttrSet]) -> Vec<AttrSet> {
+    // Attributes that appear in some complement; others can never help.
+    let mut universe = AttrSet::empty();
+    for d in complements {
+        universe = universe.union(d);
+    }
+    let hits_all = |x: &AttrSet| complements.iter().all(|d| !d.intersect(x).is_empty());
+
+    let mut covers: Vec<AttrSet> = Vec::new();
+    let mut level: Vec<AttrSet> = universe.iter().map(AttrSet::single).collect();
+    while !level.is_empty() {
+        // Split the level into covers (emitted, not extended) and the rest.
+        let mut rest: Vec<AttrSet> = Vec::new();
+        for x in level {
+            if hits_all(&x) {
+                covers.push(x);
+            } else {
+                rest.push(x);
+            }
+        }
+        // Apriori join on shared prefixes; prune supersets of found covers.
+        rest.sort();
+        let mut next: Vec<AttrSet> = Vec::new();
+        for i in 0..rest.len() {
+            for j in i + 1..rest.len() {
+                let (a, b) = (rest[i], rest[j]);
+                let common = a.intersect(&b);
+                if common.len() != a.len() - 1 {
+                    continue; // not in the same prefix block (sorted order)
+                }
+                // Joining any two k-sets overlapping in k−1 attributes is a
+                // (slightly generous) superset of the classic prefix join —
+                // complete by the Apriori argument, deduplicated below.
+                let joined = a.union(&b);
+                if covers.iter().any(|c| c.is_subset_of(&joined)) {
+                    continue; // would be a non-minimal cover
+                }
+                next.push(joined);
+            }
+        }
+        next.sort();
+        next.dedup();
+        level = next;
+    }
+    covers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::Exhaustive;
+    use fd_relation::synth::patient;
+    use fd_relation::verify_fds;
+
+    #[test]
+    fn depminer_matches_exhaustive_on_patient() {
+        let r = patient();
+        let fds = DepMiner::new().discover(&r);
+        assert_eq!(fds, Exhaustive.discover(&r));
+        assert!(verify_fds(&r, &fds).is_empty());
+    }
+
+    #[test]
+    fn depminer_matches_exhaustive_on_generated_data() {
+        use fd_relation::synth::{ColumnKind, ColumnSpec, Generator};
+        for seed in [6u64, 31, 77] {
+            let g = Generator::new(
+                "t",
+                vec![
+                    ColumnSpec::new("a", ColumnKind::Categorical { cardinality: 5, skew: 0.0 }),
+                    ColumnSpec::new("b", ColumnKind::Categorical { cardinality: 3, skew: 0.4 }),
+                    ColumnSpec::new(
+                        "c",
+                        ColumnKind::Derived { parents: vec![0, 1], cardinality: 4, noise: 0.0 },
+                    ),
+                    ColumnSpec::new("d", ColumnKind::Categorical { cardinality: 7, skew: 0.2 }),
+                    ColumnSpec::new(
+                        "e",
+                        ColumnKind::Derived { parents: vec![3], cardinality: 3, noise: 0.05 },
+                    ),
+                ],
+                seed,
+            );
+            let r = g.generate(220);
+            assert_eq!(DepMiner::new().discover(&r), Exhaustive.discover(&r), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn transversals_on_known_family() {
+        // Complements {0,1}, {1,2}: minimal transversals are {1}, {0,2}.
+        let family = vec![
+            AttrSet::from_attrs([0u16, 1]),
+            AttrSet::from_attrs([1u16, 2]),
+        ];
+        let mut t = levelwise_transversals(&family);
+        t.sort();
+        let mut expect = vec![AttrSet::single(1), AttrSet::from_attrs([0u16, 2])];
+        expect.sort();
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn transversals_of_disjoint_sets_take_one_from_each() {
+        let family = vec![AttrSet::from_attrs([0u16]), AttrSet::from_attrs([1u16])];
+        let t = levelwise_transversals(&family);
+        assert_eq!(t, vec![AttrSet::from_attrs([0u16, 1])]);
+    }
+
+    #[test]
+    fn pair_limit_aborts() {
+        let r = patient();
+        assert!(DepMiner::with_pair_limit(1).discover(&r).is_empty());
+    }
+}

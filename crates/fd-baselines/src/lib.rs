@@ -1,0 +1,36 @@
+//! Baseline FD discovery algorithms the paper evaluates EulerFD against
+//! (Section V-A), plus a brute-force oracle for tests:
+//!
+//! * [`Exhaustive`] — ground-truth lattice enumeration (tests only);
+//! * [`Tane`] — exact lattice traversal with stripped partitions [14];
+//! * [`Fdep`] — exact dependency induction over all tuple pairs [11];
+//! * [`FastFds`] — exact difference-/agree-set discovery (DFS covers) [36];
+//! * [`DepMiner`] — exact agree-set discovery (level-wise LHS generation) [22];
+//! * [`HyFd`] — exact hybrid sampling + validation [26];
+//! * [`AidFd`] — approximate uniform-sampling induction [3].
+//!
+//! All implement [`fd_relation::FdAlgorithm`]; the exact algorithms agree
+//! with each other by construction (and by test), so any of them can serve
+//! as the accuracy reference — the harness picks whichever is feasible for
+//! a dataset's shape (Fdep for few rows, Tane for few columns, HyFD
+//! otherwise).
+
+#![warn(missing_docs)]
+
+pub mod agree;
+pub mod aidfd;
+pub mod depminer;
+pub mod exhaustive;
+pub mod fastfds;
+pub mod fdep;
+pub mod hyfd;
+pub mod tane;
+
+pub use agree::AgreeSetCollector;
+pub use aidfd::{AidFd, AidFdStats};
+pub use depminer::DepMiner;
+pub use exhaustive::Exhaustive;
+pub use fastfds::FastFds;
+pub use fdep::Fdep;
+pub use hyfd::HyFd;
+pub use tane::Tane;

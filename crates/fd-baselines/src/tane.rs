@@ -1,0 +1,293 @@
+//! Tane [14] — exact level-wise lattice traversal.
+//!
+//! Traverses the power-set lattice of attributes breadth-first, validating
+//! candidate FDs `X\{A} → A` with stripped-partition refinement (`e(X\{A}) =
+//! e(X)`), pruning with RHS-candidate sets `C⁺(X)` and the (super)key rule,
+//! and generating the next level from prefix blocks. This is the classic
+//! algorithm that scales well in rows but explodes in columns — exactly the
+//! behaviour Table III shows (`ML` on *plista*, *flight*, *uniprot*).
+
+use fd_core::{AttrId, AttrSet, Fd, FdSet};
+use fd_relation::{FdAlgorithm, Partition, Relation};
+use std::collections::HashMap;
+
+/// Per-candidate state carried between levels.
+struct Node {
+    /// Stripped partition `Π̂_X`.
+    partition: Partition,
+    /// `Σ(|c|−1)` over stripped clusters; equal values across a refinement
+    /// mean the partitions are identical (the Tane validity criterion).
+    error_num: usize,
+}
+
+/// The Tane exact discovery algorithm.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct Tane {
+    /// Abort when a lattice level holds more candidate sets than this
+    /// (models the paper's 32 GB memory limit; `None` = unbounded).
+    pub max_level_width: Option<usize>,
+}
+
+
+/// Memoized `C⁺` store over the whole traversal. Pruned and never-generated
+/// sets keep (or lazily compute) their `C⁺` values because the key-pruning
+/// rule consults siblings that may not exist in the current level —
+/// the TANE paper defines those recursively as
+/// `C⁺(Y) = ⋂_{B∈Y} C⁺(Y\{B})`.
+struct CPlusMap {
+    map: HashMap<AttrSet, AttrSet>,
+    full: AttrSet,
+}
+
+impl CPlusMap {
+    fn new(m: usize) -> Self {
+        let full = AttrSet::full(m);
+        let mut map = HashMap::new();
+        map.insert(AttrSet::empty(), full);
+        CPlusMap { map, full }
+    }
+
+    fn set(&mut self, x: AttrSet, cplus: AttrSet) {
+        self.map.insert(x, cplus);
+    }
+
+    /// `C⁺(x)`, computing absent entries by the recursive definition.
+    fn get(&mut self, x: AttrSet) -> AttrSet {
+        if let Some(&c) = self.map.get(&x) {
+            return c;
+        }
+        let mut c = self.full;
+        for a in x.iter() {
+            c = c.intersect(&self.get(x.without(a)));
+        }
+        self.map.insert(x, c);
+        c
+    }
+}
+
+impl Tane {
+    /// Unbounded Tane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tane that aborts when a level exceeds `width` candidates.
+    pub fn with_level_limit(width: usize) -> Self {
+        Tane { max_level_width: Some(width) }
+    }
+
+    /// Runs discovery; `None` signals the memory guard tripped (reported as
+    /// `ML` by the benchmark harness, like the paper's Table III).
+    pub fn try_discover(&self, relation: &Relation) -> Option<FdSet> {
+        let m = relation.n_attrs();
+        let n = relation.n_rows();
+        let mut fds = FdSet::new();
+        let mut cplus = CPlusMap::new(m);
+
+        // Level 0: Π_∅ is one cluster of all rows; its error numerator is n−1.
+        let mut prev_errors: HashMap<AttrSet, usize> = HashMap::new();
+        prev_errors.insert(AttrSet::empty(), n.saturating_sub(1));
+
+        // Level 1.
+        let mut current: HashMap<AttrSet, Node> = HashMap::new();
+        for a in 0..m as AttrId {
+            let partition = Partition::of_column(relation, a).stripped();
+            let error_num = partition.covered_rows() - partition.n_clusters();
+            current.insert(AttrSet::single(a), Node { partition, error_num });
+        }
+
+        while !current.is_empty() {
+            if let Some(limit) = self.max_level_width {
+                if current.len() > limit {
+                    return None;
+                }
+            }
+            let keys: Vec<AttrSet> = current.keys().copied().collect();
+
+            // compute_dependencies: C⁺(X) = ⋂ C⁺(X\{A}), then test each
+            // X\{A} → A for A ∈ X ∩ C⁺(X).
+            let mut level_cplus: HashMap<AttrSet, AttrSet> = HashMap::with_capacity(keys.len());
+            for x in &keys {
+                let mut c = cplus.full;
+                for a in x.iter() {
+                    c = c.intersect(&cplus.get(x.without(a)));
+                }
+                let x_error = current[x].error_num;
+                for a in x.intersect(&c).iter() {
+                    let sub = x.without(a);
+                    let sub_error = *prev_errors.get(&sub).expect("subset generated earlier");
+                    if sub_error == x_error {
+                        fds.insert(Fd::new(sub, a));
+                        c.remove(a);
+                        // Minimality: drop every B ∈ R\X from C⁺(X).
+                        c = c.intersect(x);
+                    }
+                }
+                level_cplus.insert(*x, c);
+            }
+            for (x, c) in &level_cplus {
+                cplus.set(*x, *c);
+            }
+
+            // prune: delete C⁺ = ∅ sets; emit key dependencies and delete
+            // superkeys.
+            // Snapshot this level's errors for the next level's validity
+            // checks before anything is pruned.
+            let this_level_errors: HashMap<AttrSet, usize> =
+                keys.iter().map(|x| (*x, current[x].error_num)).collect();
+
+            let mut pruned: Vec<AttrSet> = Vec::new();
+            for x in &keys {
+                let c = level_cplus[x];
+                if c.is_empty() {
+                    pruned.push(*x);
+                    continue;
+                }
+                if current[x].partition.n_clusters() == 0 {
+                    // X is a (super)key: X → A for each A ∈ C⁺(X)\X that
+                    // survives the sibling minimality rule.
+                    for a in c.difference(x).iter() {
+                        let ok = x.iter().all(|b| {
+                            let sibling = x.with(a).without(b);
+                            cplus.get(sibling).contains(a)
+                        });
+                        if ok {
+                            fds.insert(Fd::new(*x, a));
+                        }
+                    }
+                    pruned.push(*x);
+                }
+            }
+            for x in &pruned {
+                current.remove(x);
+            }
+
+            // generate_next_level from prefix blocks.
+            let mut sorted: Vec<AttrSet> = current.keys().copied().collect();
+            sorted.sort();
+            let mut next: HashMap<AttrSet, Node> = HashMap::new();
+            for i in 0..sorted.len() {
+                for j in i + 1..sorted.len() {
+                    let (y1, y2) = (sorted[i], sorted[j]);
+                    let common = y1.intersect(&y2);
+                    if common.len() != y1.len() - 1 {
+                        continue;
+                    }
+                    // Prefix block: the two sets differ only in their
+                    // maximum attribute.
+                    let l1 = y1.difference(&common).first();
+                    let l2 = y2.difference(&common).first();
+                    let (l1, l2) = match (l1, l2) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => continue,
+                    };
+                    if y1.iter().max() != Some(l1) || y2.iter().max() != Some(l2) {
+                        continue;
+                    }
+                    let x = y1.union(&y2);
+                    if next.contains_key(&x) {
+                        continue;
+                    }
+                    // All ℓ-subsets of X must have survived pruning.
+                    if x.iter().any(|a| !current.contains_key(&x.without(a))) {
+                        continue;
+                    }
+                    let partition = current[&y1].partition.product(&current[&y2].partition);
+                    let error_num = partition.covered_rows() - partition.n_clusters();
+                    next.insert(x, Node { partition, error_num });
+                }
+            }
+            prev_errors = this_level_errors;
+            current = next;
+        }
+        Some(fds)
+    }
+}
+
+impl FdAlgorithm for Tane {
+    fn name(&self) -> &str {
+        "Tane"
+    }
+
+    fn discover(&self, relation: &Relation) -> FdSet {
+        self.try_discover(relation).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::Exhaustive;
+    use fd_relation::synth::patient;
+    use fd_relation::verify_fds;
+
+    #[test]
+    fn tane_matches_exhaustive_on_patient() {
+        let r = patient();
+        let tane = Tane::new().discover(&r);
+        let truth = Exhaustive.discover(&r);
+        assert_eq!(tane, truth, "Tane must equal ground truth");
+        assert!(verify_fds(&r, &tane).is_empty());
+    }
+
+    #[test]
+    fn tane_handles_constant_and_key_columns() {
+        let r = Relation::from_encoded_columns(
+            "mix",
+            vec!["key".into(), "const".into(), "dup".into()],
+            vec![vec![0, 1, 2, 3], vec![0, 0, 0, 0], vec![0, 0, 1, 1]],
+        );
+        let fds = Tane::new().discover(&r);
+        assert_eq!(fds, Exhaustive.discover(&r));
+        // ∅ → const is found at level 1.
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 1)));
+    }
+
+    #[test]
+    fn tane_matches_exhaustive_on_generated_data() {
+        use fd_relation::synth::{ColumnKind, ColumnSpec, Generator};
+        for seed in [3u64, 17, 99] {
+            let g = Generator::new(
+                "t",
+                vec![
+                    ColumnSpec::new("a", ColumnKind::Categorical { cardinality: 5, skew: 0.0 }),
+                    ColumnSpec::new("b", ColumnKind::Categorical { cardinality: 3, skew: 0.3 }),
+                    ColumnSpec::new(
+                        "c",
+                        ColumnKind::Derived { parents: vec![0, 1], cardinality: 4, noise: 0.0 },
+                    ),
+                    ColumnSpec::new("d", ColumnKind::Categorical { cardinality: 8, skew: 0.0 }),
+                    ColumnSpec::new(
+                        "e",
+                        ColumnKind::Derived { parents: vec![3], cardinality: 2, noise: 0.1 },
+                    ),
+                ],
+                seed,
+            );
+            let r = g.generate(300);
+            assert_eq!(
+                Tane::new().discover(&r),
+                Exhaustive.discover(&r),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tane_all_distinct_rows() {
+        let r = Relation::from_encoded_columns(
+            "keys",
+            vec!["x".into(), "y".into(), "z".into()],
+            vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 3, 0, 2]],
+        );
+        assert_eq!(Tane::new().discover(&r), Exhaustive.discover(&r));
+    }
+
+    #[test]
+    fn level_limit_aborts() {
+        let r = patient();
+        assert!(Tane::with_level_limit(1).try_discover(&r).is_none());
+        assert!(Tane::with_level_limit(1).discover(&r).is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the baseline algorithms: the three exact algorithms
+//! and the brute-force oracle must agree on arbitrary relations, their
+//! output must verify against the data, and AID-FD must be sound.
+
+use fd_baselines::{AidFd, Exhaustive, FastFds, Fdep, HyFd, Tane};
+use fd_relation::{verify_fds, FdAlgorithm, Relation};
+use proptest::prelude::*;
+
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    (2usize..=5, 2usize..=50).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..4, rows..=rows),
+            cols..=cols,
+        )
+        .prop_map(move |columns| {
+            let columns = columns
+                .into_iter()
+                .map(|col| {
+                    let mut map = std::collections::HashMap::new();
+                    col.into_iter()
+                        .map(|v| {
+                            let next = map.len() as u32;
+                            *map.entry(v).or_insert(next)
+                        })
+                        .collect::<Vec<u32>>()
+                })
+                .collect::<Vec<_>>();
+            let names = (0..columns.len()).map(|i| format!("c{i}")).collect();
+            Relation::from_encoded_columns("prop", names, columns)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tane ≡ Fdep ≡ HyFD ≡ brute force on arbitrary relations.
+    #[test]
+    fn exact_algorithms_agree(relation in relation_strategy()) {
+        let truth = Exhaustive.discover(&relation);
+        prop_assert_eq!(Tane::new().discover(&relation), truth.clone(), "Tane");
+        prop_assert_eq!(Fdep::new().discover(&relation), truth.clone(), "Fdep");
+        prop_assert_eq!(FastFds::new().discover(&relation), truth.clone(), "FastFDs");
+        prop_assert_eq!(HyFd::default().discover(&relation), truth, "HyFD");
+    }
+
+    /// Every exact output verifies: FDs hold, are non-trivial, and minimal.
+    #[test]
+    fn exact_output_verifies_against_the_data(relation in relation_strategy()) {
+        let fds = Tane::new().discover(&relation);
+        let problems = verify_fds(&relation, &fds);
+        prop_assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    /// AID-FD at threshold 0 equals the exact cover; at any threshold its
+    /// output never misses an FD "sideways" (every true FD is covered by a
+    /// reported generalization).
+    #[test]
+    fn aidfd_soundness(relation in relation_strategy()) {
+        let truth = Exhaustive.discover(&relation);
+        prop_assert_eq!(AidFd::with_threshold(0.0).discover(&relation), truth.clone());
+        let approx = AidFd::default().discover(&relation);
+        prop_assert!(approx.is_minimal_cover());
+        for t in &truth {
+            prop_assert!(
+                approx.iter().any(|f| f.rhs == t.rhs && f.lhs.is_subset_of(&t.lhs)),
+                "true FD {:?} lost", t
+            );
+        }
+    }
+}

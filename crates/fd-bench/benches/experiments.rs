@@ -1,0 +1,176 @@
+//! Criterion benchmarks — one group per paper table/figure, at smoke scale.
+//!
+//! These are the `cargo bench` entry points for the evaluation experiments;
+//! the full-scale tables are produced by the `fd-bench` binaries (see the
+//! crate docs). Each group benches the workload kernels that dominate the
+//! corresponding experiment so regressions in any module show up in the
+//! experiment that exercises it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eulerfd::{EulerFd, EulerFdConfig};
+use fd_baselines::{AidFd, Fdep, HyFd, Tane};
+use fd_relation::synth::dataset_spec;
+use fd_relation::FdAlgorithm;
+use std::hint::black_box;
+
+/// Table III kernel: all five algorithms on a small dataset each.
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_overall");
+    group.sample_size(10);
+    let relation = dataset_spec("abalone").unwrap().generate(1000);
+    group.bench_function("tane/abalone-1k", |b| {
+        b.iter(|| black_box(Tane::new().discover(&relation)))
+    });
+    group.bench_function("fdep/abalone-1k", |b| {
+        b.iter(|| black_box(Fdep::new().discover(&relation)))
+    });
+    group.bench_function("hyfd/abalone-1k", |b| {
+        b.iter(|| black_box(HyFd::default().discover(&relation)))
+    });
+    group.bench_function("aidfd/abalone-1k", |b| {
+        b.iter(|| black_box(AidFd::default().discover(&relation)))
+    });
+    group.bench_function("eulerfd/abalone-1k", |b| {
+        b.iter(|| black_box(EulerFd::new().discover(&relation)))
+    });
+    group.finish();
+}
+
+/// Figure 6 kernel: EulerFD vs AID-FD as fd-reduced-30 rows grow.
+fn bench_fig6_rows_fdreduced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_rows_fdreduced");
+    group.sample_size(10);
+    let full = dataset_spec("fd-reduced-30").unwrap().generate(8000);
+    for rows in [2000usize, 4000, 8000] {
+        let relation = full.head(rows);
+        group.bench_with_input(BenchmarkId::new("eulerfd", rows), &relation, |b, r| {
+            b.iter(|| black_box(EulerFd::new().discover(r)))
+        });
+        group.bench_with_input(BenchmarkId::new("aidfd", rows), &relation, |b, r| {
+            b.iter(|| black_box(AidFd::default().discover(r)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7 kernel: lineitem row growth (geometric).
+fn bench_fig7_rows_lineitem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_rows_lineitem");
+    group.sample_size(10);
+    let full = dataset_spec("lineitem").unwrap().generate(16_000);
+    for rows in [4000usize, 8000, 16_000] {
+        let relation = full.head(rows);
+        group.bench_with_input(BenchmarkId::new("eulerfd", rows), &relation, |b, r| {
+            b.iter(|| black_box(EulerFd::new().discover(r)))
+        });
+        group.bench_with_input(BenchmarkId::new("aidfd", rows), &relation, |b, r| {
+            b.iter(|| black_box(AidFd::default().discover(r)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8 kernel: plista column growth.
+fn bench_fig8_cols_plista(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_cols_plista");
+    group.sample_size(10);
+    let full = dataset_spec("plista").unwrap().generate(500);
+    for cols in [10usize, 20, 30] {
+        let relation = full.project_prefix(cols);
+        group.bench_with_input(BenchmarkId::new("eulerfd", cols), &relation, |b, r| {
+            b.iter(|| black_box(EulerFd::new().discover(r)))
+        });
+        group.bench_with_input(BenchmarkId::new("fdep", cols), &relation, |b, r| {
+            b.iter(|| black_box(Fdep::new().discover(r)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 9 kernel: uniprot column growth.
+fn bench_fig9_cols_uniprot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_cols_uniprot");
+    group.sample_size(10);
+    let full = dataset_spec("uniprot").unwrap().generate(500);
+    for cols in [10usize, 20, 30] {
+        let relation = full.project_prefix(cols);
+        group.bench_with_input(BenchmarkId::new("eulerfd", cols), &relation, |b, r| {
+            b.iter(|| black_box(EulerFd::new().discover(r)))
+        });
+        group.bench_with_input(BenchmarkId::new("aidfd", cols), &relation, |b, r| {
+            b.iter(|| black_box(AidFd::default().discover(r)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10 kernel: EulerFD runtime as a function of the MLFQ queue count.
+fn bench_fig10_mlfq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_mlfq_queues");
+    group.sample_size(10);
+    let relation = dataset_spec("adult").unwrap().generate(2000);
+    for queues in [1usize, 3, 6, 7] {
+        group.bench_with_input(BenchmarkId::new("eulerfd", queues), &queues, |b, &z| {
+            let algo = EulerFd::with_config(EulerFdConfig::with_queues(z));
+            b.iter(|| black_box(algo.discover(&relation)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11 kernel: EulerFD runtime as a function of the thresholds.
+fn bench_fig11_thresholds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_thresholds");
+    group.sample_size(10);
+    let relation = dataset_spec("ncvoter").unwrap().generate(1000);
+    for th in [0.1f64, 0.01, 0.001, 0.0] {
+        group.bench_with_input(BenchmarkId::new("eulerfd_thn", format!("{th}")), &th, |b, &t| {
+            let algo = EulerFd::with_config(EulerFdConfig::with_thresholds(t, 0.01));
+            b.iter(|| black_box(algo.discover(&relation)))
+        });
+        group.bench_with_input(BenchmarkId::new("aidfd", format!("{th}")), &th, |b, &t| {
+            let algo = AidFd::with_threshold(t);
+            b.iter(|| black_box(algo.discover(&relation)))
+        });
+    }
+    group.finish();
+}
+
+/// Table V kernel: the per-dataset service path (encode → discover) on a
+/// DMS-shaped relation, EulerFD vs AID-FD.
+fn bench_table5_dms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_dms_service_path");
+    group.sample_size(10);
+    let fleet = fd_relation::synth::FleetSpec {
+        per_cell: 1,
+        max_rows: 2000,
+        max_cols: 40,
+        seed: 0xD45,
+    }
+    .generate();
+    // One representative medium cell.
+    let ds = fleet
+        .iter()
+        .max_by_key(|d| d.relation.n_rows() * d.relation.n_attrs())
+        .expect("fleet non-empty");
+    group.bench_function("eulerfd/fleet-max", |b| {
+        b.iter(|| black_box(EulerFd::new().discover(&ds.relation)))
+    });
+    group.bench_function("aidfd/fleet-max", |b| {
+        b.iter(|| black_box(AidFd::default().discover(&ds.relation)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_table3,
+    bench_fig6_rows_fdreduced,
+    bench_fig7_rows_lineitem,
+    bench_fig8_cols_plista,
+    bench_fig9_cols_uniprot,
+    bench_fig10_mlfq,
+    bench_fig11_thresholds,
+    bench_table5_dms,
+);
+criterion_main!(experiments);

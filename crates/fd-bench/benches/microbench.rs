@@ -1,0 +1,220 @@
+//! Microbenchmarks of the hot kernels every experiment rests on: bitset
+//! algebra, LHS-tree cover operations, partition products, agree-set
+//! extraction, and the Ncover → Pcover inversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::{invert_ncover, AttrSet, Fd, LhsTree, NCover};
+use fd_relation::synth::dataset_spec;
+use fd_relation::Partition;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_sets(n: usize, universe: u16, max_len: usize, seed: u64) -> Vec<AttrSet> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(0..=max_len);
+            AttrSet::from_attrs((0..len).map(|_| rng.gen_range(0..universe)))
+        })
+        .collect()
+}
+
+fn bench_attrset_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attrset");
+    let sets = random_sets(1024, 223, 8, 1);
+    group.bench_function("subset_check", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for w in sets.windows(2) {
+                if w[0].is_subset_of(&w[1]) {
+                    count += 1;
+                }
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("union_intersect_difference", |b| {
+        b.iter(|| {
+            let mut acc = AttrSet::empty();
+            for w in sets.windows(2) {
+                acc = acc.union(&w[0].intersect(&w[1])).difference(&w[0]);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("iterate_members", |b| {
+        b.iter(|| {
+            let mut sum = 0u32;
+            for s in &sets {
+                for a in s.iter() {
+                    sum += a as u32;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_lhs_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lhs_tree");
+    for n in [256usize, 2048] {
+        let sets = random_sets(n, 30, 6, 7);
+        group.bench_with_input(BenchmarkId::new("insert", n), &sets, |b, sets| {
+            b.iter(|| {
+                let mut tree = LhsTree::new();
+                for s in sets {
+                    tree.insert(*s);
+                }
+                black_box(tree.len())
+            })
+        });
+        let mut tree = LhsTree::new();
+        for s in &sets {
+            tree.insert(*s);
+        }
+        let queries = random_sets(256, 30, 6, 8);
+        group.bench_with_input(BenchmarkId::new("subset_query", n), &queries, |b, queries| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in queries {
+                    if tree.contains_subset_of(q) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("superset_query", n), &queries, |b, queries| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in queries {
+                    if tree.contains_superset_of(q) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    let relation = dataset_spec("lineitem").unwrap().generate(50_000);
+    group.bench_function("of_column/50k", |b| {
+        b.iter(|| black_box(Partition::of_column(&relation, 8).stripped()))
+    });
+    let p1 = Partition::of_column(&relation, 8).stripped();
+    let p2 = Partition::of_column(&relation, 3).stripped();
+    group.bench_function("product/50k", |b| b.iter(|| black_box(p1.product(&p2))));
+    group.bench_function("agree_set", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in 0..1000u32 {
+                acc += relation.agree_set(t, t + 1).len();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_inversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inversion");
+    group.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut ncover = NCover::new(20);
+    for _ in 0..400 {
+        let len = rng.gen_range(1..8);
+        let agree = AttrSet::from_attrs((0..len).map(|_| rng.gen_range(0..20u16)));
+        ncover.add_agree_set(agree);
+    }
+    group.bench_function("invert_ncover/400-agree-sets", |b| {
+        b.iter(|| black_box(invert_ncover(&ncover).to_fdset().len()))
+    });
+    group.bench_function("ncover_add", |b| {
+        b.iter(|| {
+            let mut nc = NCover::new(20);
+            let mut rng = SmallRng::seed_from_u64(9);
+            for _ in 0..200 {
+                let len = rng.gen_range(1..8);
+                nc.add(Fd::new(
+                    AttrSet::from_attrs((0..len).map(|_| rng.gen_range(0..20u16))),
+                    rng.gen_range(0..20u16),
+                ));
+            }
+            black_box(nc.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fd_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_tree");
+    let entries = random_sets(1024, 20, 5, 11);
+    group.bench_function("add_1024", |b| {
+        b.iter(|| {
+            let mut tree = fd_core::FdTree::new(20);
+            for (i, s) in entries.iter().enumerate() {
+                tree.add(*s, (i % 20) as u16);
+            }
+            black_box(tree.len())
+        })
+    });
+    let mut tree = fd_core::FdTree::new(20);
+    for (i, s) in entries.iter().enumerate() {
+        tree.add(*s, (i % 20) as u16);
+    }
+    let queries = random_sets(256, 20, 6, 12);
+    group.bench_function("contains_generalization", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (i, q) in queries.iter().enumerate() {
+                if tree.contains_generalization(q, (i % 20) as u16) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_agree_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agree_collection");
+    group.sample_size(10);
+    let relation = dataset_spec("abalone").unwrap().generate(2000);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(
+                fd_baselines::AgreeSetCollector::new().collect(&relation).map(|n| n.len()),
+            )
+        })
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| {
+            black_box(
+                fd_baselines::AgreeSetCollector::new()
+                    .with_threads(4)
+                    .collect(&relation)
+                    .map(|n| n.len()),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_attrset_ops,
+    bench_lhs_tree,
+    bench_fd_tree,
+    bench_partitions,
+    bench_inversion,
+    bench_agree_collection,
+);
+criterion_main!(micro);

@@ -1,0 +1,13 @@
+//! Regenerates Figure 9: column scalability on *uniprot* (10→60 columns).
+
+use fd_bench::experiments::cols::{run, ColSweepOptions};
+use fd_bench::opts::{emit, emit_runtime_chart, CommonOpts};
+
+fn main() {
+    let common = CommonOpts::parse();
+    let mut options = ColSweepOptions::figure9();
+    options.rows = ((options.rows as f64 * common.scale) as usize).max(100);
+    let table = run(&options);
+    emit("Figure 9: column scalability on uniprot", "fig9_cols_uniprot", &table);
+    emit_runtime_chart(&table, "columns");
+}

@@ -1,0 +1,201 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! The paper's Figures 6–11 are plots; the harness renders each series as a
+//! log-scale ASCII chart next to the raw table so the *shape* (orderings,
+//! crossovers, growth trends) is visible at a glance in a terminal or CI
+//! log. No plotting dependency needed.
+
+use std::fmt::Write as _;
+
+/// One named series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points; `None` y-values (TL/ML cells) are skipped.
+    pub points: Vec<(f64, Option<f64>)>,
+}
+
+impl Series {
+    /// Builds a series from complete points.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points: points.into_iter().map(|(x, y)| (x, Some(y))).collect(),
+        }
+    }
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct ChartOptions {
+    /// Plot height in rows.
+    pub height: usize,
+    /// Plot width in columns.
+    pub width: usize,
+    /// Log-scale the y axis (runtimes span orders of magnitude).
+    pub log_y: bool,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// X-axis caption.
+    pub x_label: String,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            height: 12,
+            width: 56,
+            log_y: true,
+            y_label: "runtime [s]".into(),
+            x_label: "x".into(),
+        }
+    }
+}
+
+const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders the series into a multi-line string.
+pub fn render(series: &[Series], options: &ChartOptions) -> String {
+    let mut pts: Vec<(f64, f64, usize)> = Vec::new();
+    for (si, s) in series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            if let Some(y) = y {
+                pts.push((x, y, si));
+            }
+        }
+    }
+    if pts.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let ymap = |y: f64| if options.log_y { (y.max(1e-9)).log10() } else { y };
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in &pts {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(ymap(y));
+        ymax = ymax.max(ymap(y));
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let (h, w) = (options.height.max(3), options.width.max(16));
+    let mut grid = vec![vec![' '; w]; h];
+    for &(x, y, si) in &pts {
+        let col = (((x - xmin) / (xmax - xmin)) * (w - 1) as f64).round() as usize;
+        let row = (((ymap(y) - ymin) / (ymax - ymin)) * (h - 1) as f64).round() as usize;
+        let row = h - 1 - row; // top = max
+        let mark = MARKS[si % MARKS.len()];
+        // Collisions show the later series' mark; good enough for a glance.
+        grid[row][col.min(w - 1)] = mark;
+    }
+    let unmap = |v: f64| if options.log_y { 10f64.powf(v) } else { v };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {} ({}{})",
+        options.y_label,
+        if options.log_y { "log scale, " } else { "" },
+        format_args!("{:.3}..{:.3}", unmap(ymin), unmap(ymax))
+    );
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>9.3} ", unmap(ymax))
+        } else if i == h - 1 {
+            format!("{:>9.3} ", unmap(ymin))
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label}|{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{}+{}", " ".repeat(10), "-".repeat(w));
+    let _ = writeln!(
+        out,
+        "{}{:<12.0}{:>width$.0}  ({})",
+        " ".repeat(11),
+        xmin,
+        xmax,
+        options.x_label,
+        width = w.saturating_sub(12)
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "           {} {}", MARKS[si % MARKS.len()], s.name);
+    }
+    out
+}
+
+/// Convenience: build series from a table-like structure where column 0 is
+/// x and each named column is a y series (cells failing to parse — `TL`,
+/// `ML`, `-` — become gaps).
+pub fn series_from_columns(
+    x: &[f64],
+    columns: &[(String, Vec<String>)],
+) -> Vec<Series> {
+    columns
+        .iter()
+        .map(|(name, cells)| Series {
+            name: name.clone(),
+            points: x
+                .iter()
+                .zip(cells)
+                .map(|(&x, cell)| (x, cell.parse::<f64>().ok()))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_basic_chart() {
+        let series = vec![
+            Series::new("fast", vec![(1.0, 0.1), (2.0, 0.2), (4.0, 0.4)]),
+            Series::new("slow", vec![(1.0, 1.0), (2.0, 4.0), (4.0, 16.0)]),
+        ];
+        let s = render(&series, &ChartOptions::default());
+        assert!(s.contains("* fast"));
+        assert!(s.contains("o slow"));
+        assert!(s.contains('|'));
+        // The slow series' max lands on the top row.
+        let top_row = s.lines().nth(1).unwrap();
+        assert!(top_row.contains('o'), "{s}");
+    }
+
+    #[test]
+    fn gaps_are_skipped() {
+        let series = vec![Series {
+            name: "partial".into(),
+            points: vec![(1.0, Some(1.0)), (2.0, None), (3.0, Some(3.0))],
+        }];
+        let s = render(&series, &ChartOptions::default());
+        assert!(s.contains("* partial"));
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        let s = render(&[], &ChartOptions::default());
+        assert_eq!(s, "(no data)\n");
+        let s = render(
+            &[Series { name: "empty".into(), points: vec![(1.0, None)] }],
+            &ChartOptions::default(),
+        );
+        assert_eq!(s, "(no data)\n");
+    }
+
+    #[test]
+    fn series_from_columns_parses_and_gaps() {
+        let x = vec![1.0, 2.0];
+        let cols = vec![
+            ("a".to_string(), vec!["0.5".to_string(), "TL".to_string()]),
+        ];
+        let s = series_from_columns(&x, &cols);
+        assert_eq!(s[0].points[0].1, Some(0.5));
+        assert_eq!(s[0].points[1].1, None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Figures 8 & 9 — column scalability on *plista* and *uniprot*.
+//!
+//! The paper varies the column count from 10 to 60 and plots runtimes of
+//! Fdep, HyFD, AID-FD, and EulerFD (Tane runs out of memory on both). The
+//! shape to verify: EulerFD fastest throughout, with the gap growing as the
+//! FD count explodes in the wider projections.
+
+use crate::runner::Algo;
+use crate::table::Table;
+use fd_relation::synth::dataset_spec;
+
+/// Options for a column-scalability sweep.
+#[derive(Clone, Debug)]
+pub struct ColSweepOptions {
+    /// Dataset to sweep (`plista` for Fig 8, `uniprot` for Fig 9).
+    pub dataset: String,
+    /// Column counts (prefix projections) to measure.
+    pub col_counts: Vec<usize>,
+    /// Algorithms to include.
+    pub algos: Vec<Algo>,
+    /// Rows to generate (the paper uses the datasets' native ~1000).
+    pub rows: usize,
+}
+
+impl ColSweepOptions {
+    /// Figure 8 defaults: plista, 10..=60 step 10.
+    pub fn figure8() -> Self {
+        ColSweepOptions {
+            dataset: "plista".into(),
+            col_counts: (1..=6).map(|i| i * 10).collect(),
+            algos: vec![Algo::Fdep, Algo::HyFd, Algo::AidFd, Algo::EulerFd],
+            rows: 1001,
+        }
+    }
+
+    /// Figure 9 defaults: uniprot, 10..=60 step 10.
+    pub fn figure9() -> Self {
+        ColSweepOptions {
+            dataset: "uniprot".into(),
+            col_counts: (1..=6).map(|i| i * 10).collect(),
+            algos: vec![Algo::Fdep, Algo::HyFd, Algo::AidFd, Algo::EulerFd],
+            rows: 1000,
+        }
+    }
+}
+
+/// Runs the sweep: one row per column count.
+pub fn run(options: &ColSweepOptions) -> Table {
+    let spec = dataset_spec(&options.dataset)
+        .unwrap_or_else(|| panic!("unknown dataset {}", options.dataset));
+    let mut header = vec!["Cols".to_string()];
+    for a in &options.algos {
+        header.push(format!("{}[s]", a.name()));
+        header.push(format!("{} FDs", a.name()));
+    }
+    let mut table = Table::new(header);
+
+    let full = spec.generate(options.rows);
+    for &cols in &options.col_counts {
+        eprintln!("[cols:{}] {cols} columns ...", options.dataset);
+        let relation = full.project_prefix(cols);
+        let mut cells = vec![relation.n_attrs().to_string()];
+        for algo in &options.algos {
+            let outcome = algo.run(&relation);
+            cells.push(outcome.time_cell());
+            cells.push(outcome.fds_cell());
+        }
+        table.push(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_projects_prefixes() {
+        let options = ColSweepOptions {
+            dataset: "plista".into(),
+            col_counts: vec![5, 10],
+            algos: vec![Algo::EulerFd],
+            rows: 200,
+        };
+        let table = run(&options);
+        assert_eq!(table.n_rows(), 2);
+    }
+
+    #[test]
+    fn figure_defaults_cover_10_to_60() {
+        let f8 = ColSweepOptions::figure8();
+        assert_eq!(f8.col_counts, vec![10, 20, 30, 40, 50, 60]);
+        assert_eq!(ColSweepOptions::figure9().dataset, "uniprot");
+    }
+}

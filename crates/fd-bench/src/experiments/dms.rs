@@ -1,0 +1,112 @@
+//! Table V — DMS fleet performance: the size-weighted efficiency ratio τe
+//! and accuracy ratio τa of EulerFD vs AID-FD per row×column bucket.
+//!
+//! The production fleet is replaced by the seeded shape-matched simulator of
+//! [`fd_relation::synth::FleetSpec`] (DESIGN.md §5). For each bucket cell:
+//!
+//! ```text
+//! τe = Σ_i e_i(EulerFD)·√(R_i·C_i) / Σ_i e_i(AID-FD)·√(R_i·C_i)
+//! τa = Σ_i a_i(EulerFD)·√(R_i·C_i) / Σ_i a_i(AID-FD)·√(R_i·C_i)
+//! ```
+//!
+//! with `e` the runtime, `a` the F1 against an exact reference, and `R,C`
+//! the dataset shape. τe < 1 means EulerFD is faster; τa ≥ 1 means it is at
+//! least as accurate. Cells whose datasets admit no exact reference report
+//! `-` for τa, as the paper does for its largest buckets.
+
+use crate::runner::ground_truth;
+use crate::table::Table;
+use eulerfd::EulerFd;
+use fd_baselines::AidFd;
+use fd_core::Accuracy;
+use fd_relation::synth::{FleetSpec, COL_BUCKETS, ROW_BUCKETS};
+use fd_relation::FdAlgorithm;
+use std::time::Instant;
+
+/// Options for the fleet experiment.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct DmsOptions {
+    /// Fleet shape configuration.
+    pub fleet: FleetSpec,
+}
+
+
+#[derive(Clone, Copy, Default)]
+struct CellAgg {
+    euler_e: f64,
+    aid_e: f64,
+    euler_a: f64,
+    aid_a: f64,
+    a_weight: f64,
+    n: usize,
+}
+
+/// Runs the fleet and renders the τe/τa grid (rows bucket × cols bucket).
+pub fn run(options: &DmsOptions) -> Table {
+    let fleet = options.fleet.generate();
+    let mut cells = vec![vec![CellAgg::default(); COL_BUCKETS.len()]; ROW_BUCKETS.len()];
+
+    for (i, ds) in fleet.iter().enumerate() {
+        let r = &ds.relation;
+        eprintln!("[dms] {}/{} {} ({}x{}) ...", i + 1, fleet.len(), r.name(), r.n_rows(), r.n_attrs());
+        let weight = ((r.n_rows() * r.n_attrs()) as f64).sqrt();
+        let truth = ground_truth(r);
+
+        let start = Instant::now();
+        let euler_fds = EulerFd::new().discover(r);
+        let euler_secs = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let aid_fds = AidFd::default().discover(r);
+        let aid_secs = start.elapsed().as_secs_f64();
+
+        let cell = &mut cells[ds.row_bucket][ds.col_bucket];
+        cell.euler_e += euler_secs * weight;
+        cell.aid_e += aid_secs * weight;
+        if let Some(t) = truth {
+            cell.euler_a += Accuracy::of(&euler_fds, &t).f1 * weight;
+            cell.aid_a += Accuracy::of(&aid_fds, &t).f1 * weight;
+            cell.a_weight += weight;
+        }
+        cell.n += 1;
+    }
+
+    let mut header = vec!["rows \\ cols".to_string()];
+    header.extend(COL_BUCKETS.iter().map(|&(_, _, label)| label.to_string()));
+    let mut table = Table::new(header);
+    for (rb, &(_, _, row_label)) in ROW_BUCKETS.iter().enumerate() {
+        let mut row = vec![row_label.to_string()];
+        for cell in &cells[rb] {
+            if cell.n == 0 {
+                row.push("-".to_string());
+                continue;
+            }
+            let te = if cell.aid_e > 0.0 { cell.euler_e / cell.aid_e } else { f64::NAN };
+            let ta = if cell.a_weight > 0.0 && cell.aid_a > 0.0 {
+                format!("{:.3}", cell.euler_a / cell.aid_a)
+            } else {
+                "-".to_string()
+            };
+            row.push(format!("{te:.3} / {ta}"));
+        }
+        table.push(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_one_row_per_row_bucket() {
+        let options = DmsOptions {
+            fleet: FleetSpec { per_cell: 1, max_rows: 400, max_cols: 30, seed: 42 },
+        };
+        let table = run(&options);
+        assert_eq!(table.n_rows(), ROW_BUCKETS.len());
+        let rendered = table.render();
+        assert!(rendered.contains('/'), "cells carry τe / τa: {rendered}");
+    }
+}

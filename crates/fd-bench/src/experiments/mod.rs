@@ -1,0 +1,18 @@
+//! One module per table/figure of the paper's evaluation (Section V).
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`table3`] | Table III — overall runtime / FD count / F1, 19 datasets |
+//! | [`rows`] | Figures 6–7 — row scalability (fd-reduced-30, lineitem) |
+//! | [`cols`] | Figures 8–9 — column scalability (plista, uniprot) |
+//! | [`mlfq`] | Figure 10 + Table IV — MLFQ parameter evaluation |
+//! | [`thresholds`] | Figure 11 — `Th_Ncover` / `Th_Pcover` evaluation |
+//! | [`dms`] | Table V — DMS fleet τe/τa grid |
+
+pub mod ablation;
+pub mod cols;
+pub mod dms;
+pub mod mlfq;
+pub mod rows;
+pub mod table3;
+pub mod thresholds;

@@ -1,0 +1,104 @@
+//! Figures 6 & 7 — row scalability on *fd-reduced-30* and *lineitem*.
+//!
+//! The paper varies rows from 50k→250k (fd-reduced-30) and 8k→4096k
+//! (lineitem, geometric) and plots each algorithm's runtime plus the FD
+//! count. The harness reproduces both series at a configurable scale; the
+//! shape to verify is (a) EulerFD's near-linear growth and (b) its widening
+//! margin over AID-FD (≈2× on fd-reduced-30, ≈6× on lineitem in the paper).
+
+use crate::runner::Algo;
+use crate::table::Table;
+use fd_relation::synth::dataset_spec;
+
+/// Options for a row-scalability sweep.
+#[derive(Clone, Debug)]
+pub struct RowSweepOptions {
+    /// Dataset to sweep (`fd-reduced-30` for Fig 6, `lineitem` for Fig 7).
+    pub dataset: String,
+    /// Row counts to measure.
+    pub row_counts: Vec<usize>,
+    /// Algorithms to include.
+    pub algos: Vec<Algo>,
+}
+
+impl RowSweepOptions {
+    /// Figure 6 defaults: fd-reduced-30, 5 linear steps (scaled from the
+    /// paper's 50k..250k), Tane + HyFD + AID-FD + EulerFD (the paper drops
+    /// Fdep: it exceeds the limits on both datasets).
+    pub fn figure6(max_rows: usize) -> Self {
+        let step = (max_rows / 5).max(1);
+        RowSweepOptions {
+            dataset: "fd-reduced-30".into(),
+            row_counts: (1..=5).map(|i| i * step).collect(),
+            algos: vec![Algo::Tane, Algo::HyFd, Algo::AidFd, Algo::EulerFd],
+        }
+    }
+
+    /// Figure 7 defaults: lineitem, geometric steps (the paper uses
+    /// 8k·2^k up to 4096k), same algorithms.
+    pub fn figure7(max_rows: usize) -> Self {
+        let mut row_counts = Vec::new();
+        let mut rows = (max_rows / 16).max(1000);
+        while rows <= max_rows {
+            row_counts.push(rows);
+            rows *= 2;
+        }
+        RowSweepOptions {
+            dataset: "lineitem".into(),
+            row_counts,
+            algos: vec![Algo::Tane, Algo::HyFd, Algo::AidFd, Algo::EulerFd],
+        }
+    }
+}
+
+/// Runs the sweep: one row per (row count), one column pair per algorithm.
+pub fn run(options: &RowSweepOptions) -> Table {
+    let spec = dataset_spec(&options.dataset)
+        .unwrap_or_else(|| panic!("unknown dataset {}", options.dataset));
+    let mut header = vec!["Rows".to_string()];
+    for a in &options.algos {
+        header.push(format!("{}[s]", a.name()));
+        header.push(format!("{} FDs", a.name()));
+    }
+    let mut table = Table::new(header);
+
+    let max_rows = options.row_counts.iter().copied().max().unwrap_or(0);
+    let full = spec.generate(max_rows);
+    for &rows in &options.row_counts {
+        eprintln!("[rows:{}] {rows} rows ...", options.dataset);
+        let relation = full.head(rows);
+        let mut cells = vec![rows.to_string()];
+        for algo in &options.algos {
+            let outcome = algo.run(&relation);
+            cells.push(outcome.time_cell());
+            cells.push(outcome.fds_cell());
+        }
+        table.push(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_row_per_size() {
+        let options = RowSweepOptions {
+            dataset: "fd-reduced-30".into(),
+            row_counts: vec![500, 1000],
+            algos: vec![Algo::AidFd, Algo::EulerFd],
+        };
+        let table = run(&options);
+        assert_eq!(table.n_rows(), 2);
+    }
+
+    #[test]
+    fn figure_defaults_have_expected_shape() {
+        let f6 = RowSweepOptions::figure6(25_000);
+        assert_eq!(f6.row_counts, vec![5000, 10000, 15000, 20000, 25000]);
+        let f7 = RowSweepOptions::figure7(32_000);
+        assert_eq!(f7.row_counts, vec![2000, 4000, 8000, 16000, 32000]);
+        assert!(f7.algos.contains(&Algo::EulerFd));
+    }
+}

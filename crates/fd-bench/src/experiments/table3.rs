@@ -1,0 +1,83 @@
+//! Table III — overall performance: runtime, FD count, and F1 of the five
+//! algorithms on the 19 evaluation datasets.
+
+use crate::runner::{ground_truth, Algo, RunOutcome};
+use crate::table::Table;
+use fd_relation::synth::{DatasetSpec, DATASETS};
+
+/// Options for the Table III run.
+#[derive(Clone, Debug)]
+pub struct Table3Options {
+    /// Multiplier on each dataset's default (already laptop-scaled) row
+    /// count; 1.0 reproduces the documented scale.
+    pub row_scale: f64,
+    /// Restrict to these dataset names (empty = all 19).
+    pub only: Vec<String>,
+}
+
+impl Default for Table3Options {
+    fn default() -> Self {
+        Table3Options { row_scale: 1.0, only: Vec::new() }
+    }
+}
+
+/// Runs the experiment and returns the rendered table.
+pub fn run(options: &Table3Options) -> Table {
+    let mut table = Table::new(vec![
+        "Dataset", "Rows", "Cols", "FDs(truth)", "Tane[s]", "Fdep[s]", "HyFD[s]", "AID-FD[s]",
+        "EulerFD[s]", "AID FDs", "AID F1", "Euler FDs", "Euler F1",
+    ]);
+    for spec in DATASETS {
+        if !options.only.is_empty() && !options.only.iter().any(|n| n == spec.name) {
+            continue;
+        }
+        eprintln!("[table3] {} ...", spec.name);
+        let start = std::time::Instant::now();
+        table.push(dataset_row(spec, options.row_scale));
+        eprintln!("[table3] {} done in {:.1}s", spec.name, start.elapsed().as_secs_f64());
+    }
+    table
+}
+
+fn dataset_row(spec: &DatasetSpec, row_scale: f64) -> Vec<String> {
+    let rows = spec.scaled_rows(row_scale);
+    let relation = spec.generate(rows);
+    let truth = ground_truth(&relation);
+
+    let outcomes: Vec<RunOutcome> = Algo::ALL.iter().map(|a| a.run(&relation)).collect();
+    let [tane, fdep, hyfd, aid, euler] = <[RunOutcome; 5]>::try_from(outcomes).expect("five algos");
+
+    vec![
+        spec.name.to_string(),
+        relation.n_rows().to_string(),
+        relation.n_attrs().to_string(),
+        truth.as_ref().map_or("unknown".into(), |t| t.len().to_string()),
+        tane.time_cell(),
+        fdep.time_cell(),
+        hyfd.time_cell(),
+        aid.time_cell(),
+        euler.time_cell(),
+        aid.fds_cell(),
+        aid.f1_cell(truth.as_ref()),
+        euler.fds_cell(),
+        euler.f1_cell(truth.as_ref()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_a_small_subset() {
+        let options = Table3Options {
+            row_scale: 0.5,
+            only: vec!["iris".into(), "bridges".into()],
+        };
+        let table = run(&options);
+        assert_eq!(table.n_rows(), 2);
+        let rendered = table.render();
+        assert!(rendered.contains("iris"));
+        assert!(rendered.contains("bridges"));
+    }
+}

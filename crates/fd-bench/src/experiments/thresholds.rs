@@ -1,0 +1,113 @@
+//! Figure 11 — threshold evaluation.
+//!
+//! Sweeps `Th_Ncover` and `Th_Pcover` over {0.1, 0.01, 0.001, 0} on
+//! *flight*, *fd-reduced-30*, *ncvoter*, and *horse*, for both EulerFD and
+//! AID-FD (which only has the Ncover threshold). The shapes to reproduce:
+//! 0.01 is the elbow — smaller thresholds buy negligible F1 for significant
+//! runtime — and EulerFD dominates AID-FD at every setting.
+
+use crate::runner::ground_truth;
+use crate::table::Table;
+use eulerfd::{EulerFd, EulerFdConfig};
+use fd_baselines::AidFd;
+use fd_core::Accuracy;
+use fd_relation::synth::dataset_spec;
+use fd_relation::FdAlgorithm;
+use std::time::Instant;
+
+/// Options for the threshold sweep.
+#[derive(Clone, Debug)]
+pub struct ThresholdSweepOptions {
+    /// Datasets (paper: flight, fd-reduced-30, ncvoter, horse).
+    pub datasets: Vec<String>,
+    /// Threshold values (paper: 0.1, 0.01, 0.001, 0).
+    pub thresholds: Vec<f64>,
+    /// Row scale multiplier on default sizes.
+    pub row_scale: f64,
+}
+
+impl Default for ThresholdSweepOptions {
+    fn default() -> Self {
+        ThresholdSweepOptions {
+            datasets: vec![
+                "flight".into(),
+                "fd-reduced-30".into(),
+                "ncvoter".into(),
+                "horse".into(),
+            ],
+            thresholds: vec![0.1, 0.01, 0.001, 0.0],
+            row_scale: 1.0,
+        }
+    }
+}
+
+/// Runs the sweep. For each dataset and threshold value `θ` it reports:
+/// AID-FD with `Th_Ncover = θ`; EulerFD with `Th_Ncover = θ` (`Th_Pcover`
+/// fixed at 0.01); and EulerFD with `Th_Pcover = θ` (`Th_Ncover` fixed at
+/// 0.01) — exactly the three series of Figure 11.
+pub fn run(options: &ThresholdSweepOptions) -> Table {
+    let mut table = Table::new(vec![
+        "Dataset",
+        "Th",
+        "AID-FD[s]",
+        "AID-FD F1",
+        "Euler(ThN)[s]",
+        "Euler(ThN) F1",
+        "Euler(ThP)[s]",
+        "Euler(ThP) F1",
+    ]);
+    for name in &options.datasets {
+        let spec = dataset_spec(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let rows = spec.scaled_rows(options.row_scale);
+        let relation = spec.generate(rows);
+        eprintln!("[thresholds] {name}: computing ground truth ...");
+        let truth = ground_truth(&relation);
+        let f1_of = |fds: &fd_core::FdSet| {
+            truth.as_ref().map_or("-".to_string(), |t| format!("{:.3}", Accuracy::of(fds, t).f1))
+        };
+        for &th in &options.thresholds {
+            eprintln!("[thresholds] {name}: th={th} ...");
+            let start = Instant::now();
+            let aid_fds = AidFd::with_threshold(th).discover(&relation);
+            let aid_secs = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let euler_n = EulerFd::with_config(EulerFdConfig::with_thresholds(th, 0.01))
+                .discover(&relation);
+            let euler_n_secs = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let euler_p = EulerFd::with_config(EulerFdConfig::with_thresholds(0.01, th))
+                .discover(&relation);
+            let euler_p_secs = start.elapsed().as_secs_f64();
+
+            table.push(vec![
+                name.clone(),
+                format!("{th}"),
+                format!("{aid_secs:.3}"),
+                f1_of(&aid_fds),
+                format!("{euler_n_secs:.3}"),
+                f1_of(&euler_n),
+                format!("{euler_p_secs:.3}"),
+                f1_of(&euler_p),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_on_a_small_config() {
+        let options = ThresholdSweepOptions {
+            datasets: vec!["ncvoter".into()],
+            thresholds: vec![0.1, 0.0],
+            row_scale: 0.3,
+        };
+        let table = run(&options);
+        assert_eq!(table.n_rows(), 2);
+    }
+}

@@ -1,0 +1,346 @@
+//! Fixed-width attribute bitsets.
+//!
+//! Every FD discovery algorithm in this workspace manipulates sets of
+//! attributes (LHSs, agree sets, candidate sets) at very high frequency, so
+//! the representation is a `Copy` fixed array of four `u64` words supporting
+//! schemas of up to [`MAX_ATTRS`] attributes — enough for the widest dataset
+//! in the paper's evaluation (*uniprot*, 223 columns).
+
+use std::fmt;
+
+/// Identifier of an attribute (column) within a schema. Attributes are
+/// numbered `0..schema.len()` in column order.
+pub type AttrId = u16;
+
+/// Maximum number of attributes an [`AttrSet`] can hold.
+pub const MAX_ATTRS: usize = 256;
+
+const WORDS: usize = MAX_ATTRS / 64;
+
+/// A set of attribute ids backed by a fixed 256-bit bitmap.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AttrSet {
+    words: [u64; WORDS],
+}
+
+impl AttrSet {
+    /// The empty attribute set.
+    #[inline]
+    pub const fn empty() -> Self {
+        AttrSet { words: [0; WORDS] }
+    }
+
+    /// The set `{0, 1, .., n-1}` of all attributes of an `n`-column schema.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_ATTRS`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_ATTRS, "schema has {n} attributes, max is {MAX_ATTRS}");
+        let mut s = Self::empty();
+        for a in 0..n {
+            s.insert(a as AttrId);
+        }
+        s
+    }
+
+    /// A singleton set `{a}`.
+    #[inline]
+    pub fn single(a: AttrId) -> Self {
+        let mut s = Self::empty();
+        s.insert(a);
+        s
+    }
+
+    /// True if no attribute is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of attributes present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Adds attribute `a` to the set.
+    #[inline]
+    pub fn insert(&mut self, a: AttrId) {
+        debug_assert!((a as usize) < MAX_ATTRS);
+        self.words[(a as usize) >> 6] |= 1u64 << (a & 63);
+    }
+
+    /// Removes attribute `a` from the set.
+    #[inline]
+    pub fn remove(&mut self, a: AttrId) {
+        debug_assert!((a as usize) < MAX_ATTRS);
+        self.words[(a as usize) >> 6] &= !(1u64 << (a & 63));
+    }
+
+    /// True if attribute `a` is in the set.
+    #[inline]
+    pub fn contains(&self, a: AttrId) -> bool {
+        debug_assert!((a as usize) < MAX_ATTRS);
+        self.words[(a as usize) >> 6] & (1u64 << (a & 63)) != 0
+    }
+
+    /// Returns `self` with `a` added (non-mutating convenience).
+    #[inline]
+    pub fn with(mut self, a: AttrId) -> Self {
+        self.insert(a);
+        self
+    }
+
+    /// Returns `self` with `a` removed (non-mutating convenience).
+    #[inline]
+    pub fn without(mut self, a: AttrId) -> Self {
+        self.remove(a);
+        self
+    }
+
+    /// Set union `self ∪ other`.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        AttrSet { words: w }
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[inline]
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        AttrSet { words: w }
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        AttrSet { words: w }
+    }
+
+    /// True if `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        for i in 0..WORDS {
+            if self.words[i] & !other.words[i] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if `self ⊇ other`.
+    #[inline]
+    pub fn is_superset_of(&self, other: &Self) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// True if `self ⊂ other` (strict subset).
+    #[inline]
+    pub fn is_proper_subset_of(&self, other: &Self) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// True if the two sets share no attribute.
+    #[inline]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        for i in 0..WORDS {
+            if self.words[i] & other.words[i] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over member attribute ids in ascending order.
+    #[inline]
+    pub fn iter(&self) -> AttrIter {
+        AttrIter { words: self.words, word_idx: 0 }
+    }
+
+    /// The smallest attribute id in the set, if any.
+    #[inline]
+    pub fn first(&self) -> Option<AttrId> {
+        self.iter().next()
+    }
+
+    /// Builds a set from an iterator of attribute ids.
+    pub fn from_attrs<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        let mut s = Self::empty();
+        for a in attrs {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Renders the set using single-letter or full column names from `schema`,
+    /// e.g. `{Name, Age}`. Used by examples and debug output.
+    pub fn display<'a>(&'a self, schema: &'a [String]) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a AttrSet, &'a [String]);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{{")?;
+                for (i, a) in self.0.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match self.1.get(a as usize) {
+                        Some(name) => write!(f, "{name}")?,
+                        None => write!(f, "#{a}")?,
+                    }
+                }
+                write!(f, "}}")
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        Self::from_attrs(iter)
+    }
+}
+
+/// Iterator over the attribute ids of an [`AttrSet`], ascending.
+pub struct AttrIter {
+    words: [u64; WORDS],
+    word_idx: usize,
+}
+
+impl Iterator for AttrIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        while self.word_idx < WORDS {
+            let w = self.words[self.word_idx];
+            if w != 0 {
+                let bit = w.trailing_zeros();
+                self.words[self.word_idx] &= w - 1;
+                return Some((self.word_idx as u32 * 64 + bit) as AttrId);
+            }
+            self.word_idx += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = AttrSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first(), None);
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = AttrSet::empty();
+        for a in [0u16, 1, 63, 64, 127, 128, 200, 255] {
+            assert!(!s.contains(a));
+            s.insert(a);
+            assert!(s.contains(a));
+        }
+        assert_eq!(s.len(), 8);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 7);
+        // Removing an absent attribute is a no-op.
+        s.remove(64);
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn full_contains_exactly_prefix() {
+        let s = AttrSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(0) && s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_panics_beyond_max() {
+        let _ = AttrSet::full(MAX_ATTRS + 1);
+    }
+
+    #[test]
+    fn subset_superset_relations() {
+        let small = AttrSet::from_attrs([1u16, 5, 100]);
+        let big = AttrSet::from_attrs([1u16, 5, 100, 200]);
+        assert!(small.is_subset_of(&big));
+        assert!(small.is_proper_subset_of(&big));
+        assert!(big.is_superset_of(&small));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+        assert!(!small.is_proper_subset_of(&small));
+    }
+
+    #[test]
+    fn boolean_algebra_on_sparse_sets() {
+        let a = AttrSet::from_attrs([0u16, 63, 64, 130]);
+        let b = AttrSet::from_attrs([63u16, 64, 131]);
+        assert_eq!(a.union(&b), AttrSet::from_attrs([0u16, 63, 64, 130, 131]));
+        assert_eq!(a.intersect(&b), AttrSet::from_attrs([63u16, 64]));
+        assert_eq!(a.difference(&b), AttrSet::from_attrs([0u16, 130]));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.difference(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = AttrSet::from_attrs([200u16, 3, 64, 7]);
+        let v: Vec<AttrId> = s.iter().collect();
+        assert_eq!(v, vec![3, 7, 64, 200]);
+        assert_eq!(s.first(), Some(3));
+    }
+
+    #[test]
+    fn with_without_are_non_mutating() {
+        let s = AttrSet::single(4);
+        let t = s.with(9);
+        assert!(!s.contains(9));
+        assert!(t.contains(9) && t.contains(4));
+        let u = t.without(4);
+        assert!(t.contains(4));
+        assert!(!u.contains(4));
+    }
+
+    #[test]
+    fn debug_and_named_display() {
+        let s = AttrSet::from_attrs([0u16, 2]);
+        assert_eq!(format!("{s:?}"), "{0,2}");
+        let names: Vec<String> = ["Name", "Age", "Gender"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(format!("{}", s.display(&names)), "{Name, Gender}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Implication reasoning over FD sets: attribute-set closure (Armstrong's
+//! axioms), FD implication tests, candidate-key enumeration, and logical
+//! minimization. These are the standard post-discovery consumers of a
+//! positive cover — schema normalization [27] and query optimization [17]
+//! both start from exactly these operations.
+
+//!
+//! ```
+//! use fd_core::{AttrSet, Fd, FdSet};
+//! use fd_core::closure::{candidate_keys, closure, implies};
+//!
+//! // order_id → customer, customer → city.
+//! let fds: FdSet = [
+//!     Fd::new(AttrSet::single(0), 1),
+//!     Fd::new(AttrSet::single(1), 2),
+//! ].into_iter().collect();
+//!
+//! assert_eq!(closure(&AttrSet::single(0), &fds), AttrSet::from_attrs([0u16, 1, 2]));
+//! assert!(implies(&fds, &Fd::new(AttrSet::single(0), 2))); // transitivity
+//! assert_eq!(candidate_keys(3, &fds), vec![AttrSet::single(0)]);
+//! ```
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::fd::{Fd, FdSet};
+
+/// The closure `X⁺` of attribute set `x` under `fds`: the largest set of
+/// attributes functionally determined by `x`. Computed with the textbook
+/// fixpoint; `O(|fds|²)` worst case, linear in practice.
+pub fn closure(x: &AttrSet, fds: &FdSet) -> AttrSet {
+    let mut result = *x;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            if !result.contains(fd.rhs) && fd.lhs.is_subset_of(&result) {
+                result.insert(fd.rhs);
+                changed = true;
+            }
+        }
+    }
+    result
+}
+
+/// True if `fds ⊨ fd` (the dependency follows from the set by Armstrong's
+/// axioms): `fd.rhs ∈ closure(fd.lhs)`.
+pub fn implies(fds: &FdSet, fd: &Fd) -> bool {
+    fd.lhs.contains(fd.rhs) || closure(&fd.lhs, fds).contains(fd.rhs)
+}
+
+/// True if the two FD sets are logically equivalent (each implies every
+/// member of the other).
+pub fn equivalent(a: &FdSet, b: &FdSet) -> bool {
+    a.iter().all(|fd| implies(b, fd)) && b.iter().all(|fd| implies(a, fd))
+}
+
+/// Removes members implied by the remaining set, yielding a logically
+/// minimal (non-redundant) cover. Note this is *logical* redundancy across
+/// FDs — distinct from the per-FD LHS minimality the discovery algorithms
+/// already guarantee.
+pub fn non_redundant_cover(fds: &FdSet) -> FdSet {
+    let mut kept: FdSet = fds.clone();
+    let members: Vec<Fd> = fds.iter().copied().collect();
+    for fd in members {
+        kept.remove(&fd);
+        if !implies(&kept, &fd) {
+            kept.insert(fd);
+        }
+    }
+    kept
+}
+
+/// All minimal candidate keys of an `n_attrs`-column schema under `fds`:
+/// minimal attribute sets whose closure is the full schema. Uses a
+/// breadth-first search seeded with the attributes no FD can derive (they
+/// must be in every key), which keeps the search tractable on real schemas.
+pub fn candidate_keys(n_attrs: usize, fds: &FdSet) -> Vec<AttrSet> {
+    let all = AttrSet::full(n_attrs);
+    // Attributes that never appear as an RHS of a non-trivial FD can only
+    // come from the key itself.
+    let mut derivable = AttrSet::empty();
+    for fd in fds {
+        derivable.insert(fd.rhs);
+    }
+    let core = all.difference(&derivable);
+    if closure(&core, fds) == all {
+        return vec![core];
+    }
+    // Breadth-first over supersets of the core; extensions of found keys
+    // are pruned, so every reported key is minimal and all minimal keys are
+    // found (worst case exponential, like the problem itself).
+    let candidates: Vec<AttrId> = derivable.iter().collect();
+    let mut keys: Vec<AttrSet> = Vec::new();
+    let mut frontier: Vec<AttrSet> = vec![core];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for base in &frontier {
+            for &a in &candidates {
+                if base.contains(a) {
+                    continue;
+                }
+                let ext = base.with(a);
+                if !seen.insert(ext) || keys.iter().any(|k: &AttrSet| k.is_subset_of(&ext)) {
+                    continue;
+                }
+                if closure(&ext, fds) == all {
+                    keys.push(ext);
+                } else {
+                    next.push(ext);
+                }
+            }
+        }
+        frontier = next;
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// True if the schema is in Boyce-Codd Normal Form under `fds`: the LHS of
+/// every non-trivial dependency is a superkey. Returns the violating FDs.
+pub fn bcnf_violations(n_attrs: usize, fds: &FdSet) -> Vec<Fd> {
+    let all = AttrSet::full(n_attrs);
+    fds.iter()
+        .filter(|fd| fd.is_non_trivial() && closure(&fd.lhs, fds) != all)
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[AttrId], rhs: AttrId) -> Fd {
+        Fd::new(AttrSet::from_attrs(lhs.iter().copied()), rhs)
+    }
+
+    fn fdset(fds: &[Fd]) -> FdSet {
+        fds.iter().copied().collect()
+    }
+
+    #[test]
+    fn closure_fixpoint() {
+        // A → B, B → C: closure(A) = {A,B,C}.
+        let fds = fdset(&[fd(&[0], 1), fd(&[1], 2)]);
+        assert_eq!(closure(&AttrSet::single(0), &fds), AttrSet::from_attrs([0u16, 1, 2]));
+        assert_eq!(closure(&AttrSet::single(2), &fds), AttrSet::single(2));
+        assert_eq!(closure(&AttrSet::empty(), &fds), AttrSet::empty());
+    }
+
+    #[test]
+    fn implication_includes_transitivity_and_reflexivity() {
+        let fds = fdset(&[fd(&[0], 1), fd(&[1], 2)]);
+        assert!(implies(&fds, &fd(&[0], 2))); // transitivity
+        assert!(implies(&fds, &fd(&[0, 1], 1))); // reflexivity (trivial)
+        assert!(implies(&fds, &fd(&[0, 3], 2))); // augmentation
+        assert!(!implies(&fds, &fd(&[1], 0)));
+    }
+
+    #[test]
+    fn equivalence_of_different_covers() {
+        // {A→B, B→C, A→C} ≡ {A→B, B→C}.
+        let a = fdset(&[fd(&[0], 1), fd(&[1], 2), fd(&[0], 2)]);
+        let b = fdset(&[fd(&[0], 1), fd(&[1], 2)]);
+        assert!(equivalent(&a, &b));
+        let c = fdset(&[fd(&[0], 1)]);
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn non_redundant_cover_drops_transitive_member() {
+        let a = fdset(&[fd(&[0], 1), fd(&[1], 2), fd(&[0], 2)]);
+        let reduced = non_redundant_cover(&a);
+        assert_eq!(reduced.len(), 2);
+        assert!(!reduced.contains(&fd(&[0], 2)));
+        assert!(equivalent(&a, &reduced));
+    }
+
+    #[test]
+    fn candidate_keys_simple_chain() {
+        // A → B, B → C on schema {A,B,C}: only key is {A}.
+        let fds = fdset(&[fd(&[0], 1), fd(&[1], 2)]);
+        assert_eq!(candidate_keys(3, &fds), vec![AttrSet::single(0)]);
+    }
+
+    #[test]
+    fn candidate_keys_multiple() {
+        // A → B and B → A with C underivable: keys {A,C} and {B,C}.
+        let fds = fdset(&[fd(&[0], 1), fd(&[1], 0)]);
+        let keys = candidate_keys(3, &fds);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&AttrSet::from_attrs([0u16, 2])));
+        assert!(keys.contains(&AttrSet::from_attrs([1u16, 2])));
+    }
+
+    #[test]
+    fn candidate_keys_of_different_sizes_are_all_found() {
+        // A → B,C,D and BC → A: minimal keys are {A} and {B,C}.
+        let fds = fdset(&[fd(&[0], 1), fd(&[0], 2), fd(&[0], 3), fd(&[1, 2], 0)]);
+        let keys = candidate_keys(4, &fds);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&AttrSet::single(0)));
+        assert!(keys.contains(&AttrSet::from_attrs([1u16, 2])));
+    }
+
+    #[test]
+    fn candidate_keys_without_fds_is_whole_schema() {
+        let keys = candidate_keys(3, &FdSet::new());
+        assert_eq!(keys, vec![AttrSet::full(3)]);
+    }
+
+    #[test]
+    fn bcnf_detection() {
+        // order_id → customer, customer → city on {order_id, customer, city}:
+        // customer → city violates BCNF (customer is not a key).
+        let fds = fdset(&[fd(&[0], 1), fd(&[1], 2)]);
+        let violations = bcnf_violations(3, &fds);
+        assert_eq!(violations, vec![fd(&[1], 2)]);
+        // A schema whose only determinant is the key is in BCNF.
+        let clean = fdset(&[fd(&[0], 1), fd(&[0], 2)]);
+        assert!(bcnf_violations(3, &clean).is_empty());
+    }
+}

@@ -1,0 +1,372 @@
+//! Negative and positive covers (Definition 5) backed by per-RHS
+//! [`LhsTree`]s, plus the generic Ncover → Pcover inversion of Algorithm 3.
+//!
+//! These containers are shared by every induction-style algorithm in the
+//! workspace (EulerFD, AID-FD, Fdep): the algorithms differ in *how* they
+//! obtain non-FDs, not in how covers are stored and inverted.
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::fd::{Fd, FdSet};
+use crate::lhs_tree::LhsTree;
+
+/// The negative cover: for each RHS attribute, the set of **maximal**
+/// non-FD LHSs observed so far. Maximality is maintained incrementally —
+/// inserting a non-FD drops every stored generalization of it, and a non-FD
+/// that already has a stored specialization is ignored (Lemma 1 makes both
+/// redundant).
+#[derive(Clone, Debug)]
+pub struct NCover {
+    per_rhs: Vec<LhsTree>,
+    len: usize,
+    insertions: usize,
+}
+
+impl NCover {
+    /// An empty negative cover over an `n_attrs`-column schema.
+    pub fn new(n_attrs: usize) -> Self {
+        NCover { per_rhs: (0..n_attrs).map(|_| LhsTree::new()).collect(), len: 0, insertions: 0 }
+    }
+
+    /// Number of attributes in the schema.
+    pub fn n_attrs(&self) -> usize {
+        self.per_rhs.len()
+    }
+
+    /// Number of maximal non-FDs currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no non-FD is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds the non-FD `non_fd` (Algorithm 2 lines 2–5, streaming form).
+    /// Returns true if the cover changed, i.e. the non-FD was not already
+    /// implied by a stored specialization.
+    pub fn add(&mut self, non_fd: Fd) -> bool {
+        let tree = &mut self.per_rhs[non_fd.rhs as usize];
+        if tree.contains_superset_of(&non_fd.lhs) {
+            return false;
+        }
+        let removed = tree.remove_subsets_of(&non_fd.lhs);
+        self.len -= removed.len();
+        tree.insert(non_fd.lhs);
+        self.len += 1;
+        self.insertions += 1;
+        true
+    }
+
+    /// Total successful insertions over the cover's lifetime. Absorptions of
+    /// generalized non-FDs shrink `len` but never this counter, so growth
+    /// rates ("percentage of additions", Section V-F) are measured against
+    /// it rather than against net size.
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+
+    /// Records one sampled tuple pair's agree set `S`: every attribute
+    /// `a ∉ S` yields the non-FD `S ↛ a`. Returns the number of cover
+    /// insertions performed.
+    pub fn add_agree_set(&mut self, agree: AttrSet) -> usize {
+        let n = self.n_attrs();
+        let mut added = 0;
+        for a in 0..n {
+            let a = a as AttrId;
+            if !agree.contains(a) && self.add(Fd::new(agree, a)) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Like [`NCover::add_agree_set`], but also appends each non-FD that was
+    /// actually inserted to `inserted` — exactly the set an incremental
+    /// inversion needs to process (non-FDs absorbed by an existing
+    /// specialization change nothing downstream).
+    pub fn add_agree_set_collect(&mut self, agree: AttrSet, inserted: &mut Vec<Fd>) -> usize {
+        let n = self.n_attrs();
+        let mut added = 0;
+        for a in 0..n {
+            let a = a as AttrId;
+            if agree.contains(a) {
+                continue;
+            }
+            let non_fd = Fd::new(agree, a);
+            if self.add(non_fd) {
+                inserted.push(non_fd);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// True if `fd` is invalidated by the cover: some stored non-FD
+    /// `Y ↛ fd.rhs` has `fd.lhs ⊆ Y` (Lemma 1).
+    pub fn invalidates(&self, fd: &Fd) -> bool {
+        self.per_rhs[fd.rhs as usize].contains_superset_of(&fd.lhs)
+    }
+
+    /// All stored maximal non-FDs.
+    pub fn to_fds(&self) -> Vec<Fd> {
+        let mut out = Vec::with_capacity(self.len);
+        for (rhs, tree) in self.per_rhs.iter().enumerate() {
+            tree.for_each(|lhs| out.push(Fd::new(lhs, rhs as AttrId)));
+        }
+        out
+    }
+
+    /// The per-RHS tree (used by verification tooling).
+    pub fn tree(&self, rhs: AttrId) -> &LhsTree {
+        &self.per_rhs[rhs as usize]
+    }
+}
+
+/// The positive cover under construction: for each RHS attribute, the LHSs
+/// of the current minimal FD candidates. Initialized with the most general
+/// candidate `∅ → A` per attribute and refined by inverting non-FDs
+/// (Algorithm 3).
+#[derive(Clone, Debug)]
+pub struct PCover {
+    per_rhs: Vec<LhsTree>,
+    len: usize,
+}
+
+/// Mutation counts of one [`PCover::invert`] call, used by EulerFD's second
+/// cycle to compute `GR_Pcover`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvertDelta {
+    /// FD candidates removed because a non-FD invalidated them.
+    pub removed: usize,
+    /// Specialized FD candidates added in their place.
+    pub added: usize,
+}
+
+impl InvertDelta {
+    /// Total churn (adds + removes).
+    pub fn churn(&self) -> usize {
+        self.removed + self.added
+    }
+}
+
+impl std::ops::AddAssign for InvertDelta {
+    fn add_assign(&mut self, rhs: Self) {
+        self.removed += rhs.removed;
+        self.added += rhs.added;
+    }
+}
+
+impl PCover {
+    /// A positive cover seeded with `∅ → A` for every attribute
+    /// (Algorithm 3 lines 1–2).
+    pub fn initialized(n_attrs: usize) -> Self {
+        let mut per_rhs: Vec<LhsTree> = (0..n_attrs).map(|_| LhsTree::new()).collect();
+        for tree in &mut per_rhs {
+            tree.insert(AttrSet::empty());
+        }
+        PCover { per_rhs, len: n_attrs }
+    }
+
+    /// Number of attributes in the schema.
+    pub fn n_attrs(&self) -> usize {
+        self.per_rhs.len()
+    }
+
+    /// Number of FD candidates currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no candidate is stored (only possible mid-inversion).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inverts a single non-FD into the cover (Algorithm 3, `invert`):
+    /// removes every candidate generalization of `non_fd` and re-adds
+    /// minimal specializations that escape it.
+    pub fn invert(&mut self, non_fd: Fd) -> InvertDelta {
+        let n = self.n_attrs();
+        let rhs = non_fd.rhs;
+        let mut delta = InvertDelta::default();
+        loop {
+            let tree = &mut self.per_rhs[rhs as usize];
+            let generals = tree.remove_subsets_of(&non_fd.lhs);
+            if generals.is_empty() {
+                break;
+            }
+            self.len -= generals.len();
+            delta.removed += generals.len();
+            for general in generals {
+                for attr in 0..n {
+                    let attr = attr as AttrId;
+                    // Skip attributes already in the candidate or equal to its
+                    // RHS (keeps candidates non-trivial), and attributes of
+                    // the non-FD's LHS — those specializations stay inside the
+                    // invalidated region and would be removed again next loop.
+                    if general.contains(attr) || attr == rhs || non_fd.lhs.contains(attr) {
+                        continue;
+                    }
+                    let candidate = general.with(attr);
+                    let tree = &mut self.per_rhs[rhs as usize];
+                    if tree.contains_subset_of(&candidate) {
+                        continue; // a more general candidate already covers it
+                    }
+                    tree.insert(candidate);
+                    self.len += 1;
+                    delta.added += 1;
+                }
+            }
+        }
+        delta
+    }
+
+    /// True if `fd` (or a generalization of it) is a current candidate.
+    pub fn covers(&self, fd: &Fd) -> bool {
+        self.per_rhs[fd.rhs as usize].contains_subset_of(&fd.lhs)
+    }
+
+    /// True if exactly `fd` is a current candidate.
+    pub fn contains(&self, fd: &Fd) -> bool {
+        self.per_rhs[fd.rhs as usize].collect_subsets_of(&fd.lhs).contains(&fd.lhs)
+    }
+
+    /// Extracts the final FD set. Candidates `∅ → A` are kept — they assert
+    /// that column `A` is constant, expressed as the most general FD.
+    pub fn to_fdset(&self) -> FdSet {
+        let mut out = FdSet::new();
+        for (rhs, tree) in self.per_rhs.iter().enumerate() {
+            tree.for_each(|lhs| {
+                out.insert(Fd::new(lhs, rhs as AttrId));
+            });
+        }
+        out
+    }
+}
+
+/// Builds the positive cover implied by a set of non-FDs: initializes the
+/// most general candidates and inverts every non-FD (Algorithm 3 main loop).
+/// This is the whole of Fdep's second half and the final step of AID-FD.
+pub fn invert_ncover(ncover: &NCover) -> PCover {
+    let mut pcover = PCover::initialized(ncover.n_attrs());
+    let mut non_fds = ncover.to_fds();
+    // Most specialized first (Algorithm 2's sort): each candidate is pruned
+    // once instead of being re-specialized by successive generalizations.
+    non_fds.sort_by_key(|fd| std::cmp::Reverse(fd.lhs.len()));
+    for non_fd in non_fds {
+        pcover.invert(non_fd);
+    }
+    pcover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(bits: &[u16]) -> AttrSet {
+        AttrSet::from_attrs(bits.iter().copied())
+    }
+
+    #[test]
+    fn ncover_keeps_only_maximal_non_fds() {
+        let mut nc = NCover::new(5);
+        assert!(nc.add(Fd::new(s(&[2, 3]), 0))); // BG ↛ N
+        assert!(nc.add(Fd::new(s(&[2, 3, 4]), 0))); // MBG ↛ N specializes it
+        assert_eq!(nc.len(), 1);
+        // Re-adding the absorbed generalization is a no-op.
+        assert!(!nc.add(Fd::new(s(&[2, 3]), 0)));
+        assert_eq!(nc.len(), 1);
+        assert!(nc.add(Fd::new(s(&[1, 3]), 0))); // AG ↛ N incomparable
+        assert_eq!(nc.len(), 2);
+    }
+
+    #[test]
+    fn ncover_invalidates_generalizations() {
+        let mut nc = NCover::new(5);
+        nc.add(Fd::new(s(&[2, 3, 4]), 0));
+        assert!(nc.invalidates(&Fd::new(s(&[2]), 0)));
+        assert!(nc.invalidates(&Fd::new(s(&[2, 3, 4]), 0)));
+        assert!(!nc.invalidates(&Fd::new(s(&[1]), 0)));
+        assert!(!nc.invalidates(&Fd::new(s(&[2]), 1)));
+    }
+
+    #[test]
+    fn agree_set_expands_to_non_fds() {
+        let mut nc = NCover::new(4);
+        // Agree on {0,1}: non-FDs {0,1} ↛ 2 and {0,1} ↛ 3.
+        assert_eq!(nc.add_agree_set(s(&[0, 1])), 2);
+        assert_eq!(nc.len(), 2);
+        // Same agree set again adds nothing.
+        assert_eq!(nc.add_agree_set(s(&[0, 1])), 0);
+        // A sub-agree-set is entirely absorbed.
+        assert_eq!(nc.add_agree_set(s(&[0])), 1); // {0}↛1 is new; {0}↛2, {0}↛3 absorbed
+    }
+
+    /// Replays the paper's Figure 5 inversion for RHS N (ids: N=0, A=1, B=2,
+    /// G=3, M=4) with non-FDs MBG, AG, AMB.
+    #[test]
+    fn figure_5_inversion() {
+        let mut pc = PCover::initialized(5);
+        // Restrict to RHS N for the walkthrough: other RHS trees untouched.
+        // (a) invert MBG ↛ N: ∅→N removed, A→N created.
+        let d = pc.invert(Fd::new(s(&[4, 2, 3]), 0));
+        assert_eq!(d.removed, 1);
+        assert!(pc.contains(&Fd::new(s(&[1]), 0)));
+        // (b) invert AG ↛ N: A→N replaced by AB→N and AM→N.
+        pc.invert(Fd::new(s(&[1, 3]), 0));
+        assert!(!pc.contains(&Fd::new(s(&[1]), 0)));
+        assert!(pc.contains(&Fd::new(s(&[1, 2]), 0)));
+        assert!(pc.contains(&Fd::new(s(&[1, 4]), 0)));
+        // (c) invert AMB ↛ N: both replaced by ABG→N and AMG→N.
+        pc.invert(Fd::new(s(&[1, 4, 2]), 0));
+        assert!(!pc.contains(&Fd::new(s(&[1, 2]), 0)));
+        assert!(!pc.contains(&Fd::new(s(&[1, 4]), 0)));
+        assert!(pc.contains(&Fd::new(s(&[1, 2, 3]), 0)));
+        assert!(pc.contains(&Fd::new(s(&[1, 4, 3]), 0)));
+        // Exactly those two candidates remain for RHS N.
+        let n_fds: Vec<Fd> = pc.to_fdset().with_rhs(0).copied().collect();
+        assert_eq!(n_fds.len(), 2);
+    }
+
+    #[test]
+    fn inversion_result_is_minimal_and_consistent() {
+        let mut nc = NCover::new(4);
+        nc.add_agree_set(s(&[0, 1]));
+        nc.add_agree_set(s(&[1, 2]));
+        nc.add_agree_set(s(&[0]));
+        let pc = invert_ncover(&nc);
+        let fds = pc.to_fdset();
+        assert!(fds.is_minimal_cover());
+        // No candidate may be invalidated by a stored non-FD.
+        for fd in &fds {
+            assert!(!nc.invalidates(fd), "{fd:?} contradicts the negative cover");
+        }
+        // Every dependency not covered must be invalidated (completeness of
+        // the inversion): check exhaustively over all LHS ⊆ {0..3}.
+        for rhs in 0..4u16 {
+            for mask in 0u32..16 {
+                let lhs = AttrSet::from_attrs((0..4u16).filter(|a| mask & (1 << a) != 0));
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                let fd = Fd::new(lhs, rhs);
+                assert_eq!(
+                    pc.covers(&fd),
+                    !nc.invalidates(&fd),
+                    "cover disagreement on {fd:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ncover_inverts_to_most_general() {
+        let pc = invert_ncover(&NCover::new(3));
+        let fds = pc.to_fdset();
+        assert_eq!(fds.len(), 3);
+        for fd in &fds {
+            assert!(fd.lhs.is_empty());
+        }
+    }
+}

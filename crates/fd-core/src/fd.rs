@@ -1,0 +1,249 @@
+//! Functional dependencies and FD sets.
+
+use crate::attrset::{AttrId, AttrSet};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A functional dependency `LHS → RHS` (Definition 1 of the paper).
+///
+/// The same struct also represents a *non-FD* `LHS ↛ RHS` (Definition 2);
+/// which reading applies is determined by the container it is stored in
+/// (negative vs positive cover).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Determinant attribute set (left-hand side).
+    pub lhs: AttrSet,
+    /// Determined attribute (right-hand side).
+    pub rhs: AttrId,
+}
+
+impl Fd {
+    /// Creates the dependency `lhs → rhs`.
+    #[inline]
+    pub fn new(lhs: AttrSet, rhs: AttrId) -> Self {
+        Fd { lhs, rhs }
+    }
+
+    /// True if the dependency is non-trivial, i.e. `rhs ∉ lhs` (Definition 4).
+    #[inline]
+    pub fn is_non_trivial(&self) -> bool {
+        !self.lhs.contains(self.rhs)
+    }
+
+    /// True if `self` specializes `other`: same RHS and `other.lhs ⊂ self.lhs`
+    /// (Definition 3).
+    #[inline]
+    pub fn specializes(&self, other: &Fd) -> bool {
+        self.rhs == other.rhs && other.lhs.is_proper_subset_of(&self.lhs)
+    }
+
+    /// True if `self` generalizes `other`: same RHS and `self.lhs ⊂ other.lhs`
+    /// (Definition 3).
+    #[inline]
+    pub fn generalizes(&self, other: &Fd) -> bool {
+        other.specializes(self)
+    }
+
+    /// Renders with column names, e.g. `{Gender, Medicine} -> Blood pressure`.
+    pub fn display<'a>(&'a self, schema: &'a [String]) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Fd, &'a [String]);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let rhs = self
+                    .1
+                    .get(self.0.rhs as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("#{}", self.0.rhs));
+                write!(f, "{} -> {rhs}", self.0.lhs.display(self.1))
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}->{}", self.lhs, self.rhs)
+    }
+}
+
+/// An ordered, duplicate-free collection of FDs — the result type of every
+/// discovery algorithm in this workspace (the *target positive cover*:
+/// non-trivial, minimal FDs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: BTreeSet<Fd>,
+}
+
+impl FdSet {
+    /// An empty FD set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `fd`; returns true if it was not already present.
+    pub fn insert(&mut self, fd: Fd) -> bool {
+        self.fds.insert(fd)
+    }
+
+    /// Removes `fd`; returns true if it was present.
+    pub fn remove(&mut self, fd: &Fd) -> bool {
+        self.fds.remove(fd)
+    }
+
+    /// True if `fd` is in the set.
+    pub fn contains(&self, fd: &Fd) -> bool {
+        self.fds.contains(fd)
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True if the set holds no FD.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Iterates in deterministic (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> {
+        self.fds.iter()
+    }
+
+    /// The FDs whose RHS is `rhs`.
+    pub fn with_rhs(&self, rhs: AttrId) -> impl Iterator<Item = &Fd> {
+        self.fds.iter().filter(move |fd| fd.rhs == rhs)
+    }
+
+    /// True if every FD in the set is non-trivial and minimal *within the
+    /// set*: no other member with the same RHS has a strictly smaller LHS.
+    /// This is a structural sanity check used by tests; semantic minimality
+    /// (w.r.t. the data) is checked by verification against the relation.
+    pub fn is_minimal_cover(&self) -> bool {
+        for fd in &self.fds {
+            if !fd.is_non_trivial() {
+                return false;
+            }
+            for other in self.with_rhs(fd.rhs) {
+                if other.lhs.is_proper_subset_of(&fd.lhs) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Removes FDs that are specializations of another member, keeping only
+    /// the most general form of each dependency.
+    pub fn minimize(&mut self) {
+        let all: Vec<Fd> = self.fds.iter().copied().collect();
+        self.fds.retain(|fd| {
+            !all.iter()
+                .any(|other| other.rhs == fd.rhs && other.lhs.is_proper_subset_of(&fd.lhs))
+        });
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<T: IntoIterator<Item = Fd>>(iter: T) -> Self {
+        FdSet { fds: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for FdSet {
+    type Item = Fd;
+    type IntoIter = std::collections::btree_set::IntoIter<Fd>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.fds.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FdSet {
+    type Item = &'a Fd;
+    type IntoIter = std::collections::btree_set::Iter<'a, Fd>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.fds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[AttrId], rhs: AttrId) -> Fd {
+        Fd::new(AttrSet::from_attrs(lhs.iter().copied()), rhs)
+    }
+
+    #[test]
+    fn triviality_follows_definition_4() {
+        // ABM -> M is trivial because M ∈ ABM (Example 3).
+        assert!(!fd(&[0, 1, 2], 2).is_non_trivial());
+        assert!(fd(&[0, 1], 2).is_non_trivial());
+        // ∅ -> A is non-trivial.
+        assert!(fd(&[], 0).is_non_trivial());
+    }
+
+    #[test]
+    fn specialize_generalize_follow_definition_3() {
+        // NG -> M specializes N -> M (Example 2).
+        let ng_m = fd(&[0, 3], 4);
+        let n_m = fd(&[0], 4);
+        assert!(ng_m.specializes(&n_m));
+        assert!(n_m.generalizes(&ng_m));
+        // A dependency does not specialize itself (⊂ is strict).
+        assert!(!ng_m.specializes(&ng_m));
+        // Different RHS never specializes.
+        assert!(!fd(&[0, 3], 1).specializes(&fd(&[0], 4)));
+        // Incomparable LHSs (ABG vs AGM, Example 2) relate neither way.
+        let abg_n = fd(&[0, 1, 3], 2);
+        let agm_n = fd(&[0, 3, 4], 2);
+        assert!(!abg_n.specializes(&agm_n) && !abg_n.generalizes(&agm_n));
+    }
+
+    #[test]
+    fn fdset_insert_dedupes_and_orders() {
+        let mut s = FdSet::new();
+        assert!(s.insert(fd(&[1], 0)));
+        assert!(!s.insert(fd(&[1], 0)));
+        assert!(s.insert(fd(&[0], 1)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&fd(&[1], 0)));
+        assert!(s.remove(&fd(&[1], 0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn minimal_cover_check_flags_redundancy() {
+        let mut s = FdSet::new();
+        s.insert(fd(&[0], 2));
+        s.insert(fd(&[0, 1], 2)); // specializes {0} -> 2
+        assert!(!s.is_minimal_cover());
+        s.minimize();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&fd(&[0], 2)));
+        assert!(s.is_minimal_cover());
+    }
+
+    #[test]
+    fn minimal_cover_check_flags_trivial() {
+        let mut s = FdSet::new();
+        s.insert(fd(&[2], 2));
+        assert!(!s.is_minimal_cover());
+    }
+
+    #[test]
+    fn with_rhs_filters() {
+        let s: FdSet = [fd(&[0], 1), fd(&[2], 1), fd(&[0], 3)].into_iter().collect();
+        assert_eq!(s.with_rhs(1).count(), 2);
+        assert_eq!(s.with_rhs(3).count(), 1);
+        assert_eq!(s.with_rhs(7).count(), 0);
+    }
+
+    #[test]
+    fn display_uses_schema_names() {
+        let schema: Vec<String> =
+            ["Name", "Age", "BP"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(format!("{}", fd(&[0, 1], 2).display(&schema)), "{Name, Age} -> BP");
+    }
+}

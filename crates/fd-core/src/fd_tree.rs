@@ -1,0 +1,325 @@
+//! Classic FD-tree: a prefix tree over sorted LHS attribute sequences with a
+//! RHS bitmap at every node. This is the candidate store used by HyFD's
+//! induction and validation phases (and originally by Fdep [11]).
+//!
+//! A dependency `X → A` is stored by walking the attributes of `X` in
+//! ascending id order, creating child nodes as needed, and marking `A` in the
+//! final node's `rhss` bitmap. Generalization lookups descend only into
+//! children whose attribute is contained in the query LHS.
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::fd::Fd;
+
+/// Prefix tree over LHSs with per-node RHS marks.
+///
+/// ```
+/// use fd_core::{AttrSet, FdTree};
+///
+/// let mut tree = FdTree::new(4);
+/// tree.add(AttrSet::from_attrs([0u16, 2]), 3);
+/// assert!(tree.contains_generalization(&AttrSet::from_attrs([0u16, 1, 2]), 3));
+/// assert_eq!(tree.level(2).len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FdTree {
+    n_attrs: usize,
+    root: Node,
+    len: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    /// RHS attributes `A` such that `path → A` is stored at this node.
+    rhss: AttrSet,
+    /// Children keyed by attribute id; only ids greater than every attribute
+    /// on the path are populated (paths are ascending).
+    children: Vec<Option<Box<Node>>>,
+}
+
+impl Node {
+    fn new(n_attrs: usize) -> Self {
+        Node { rhss: AttrSet::empty(), children: vec![None; n_attrs] }
+    }
+
+    fn is_leafless(&self) -> bool {
+        self.rhss.is_empty() && self.children.iter().all(|c| c.is_none())
+    }
+}
+
+impl FdTree {
+    /// An empty tree over an `n_attrs`-column schema.
+    pub fn new(n_attrs: usize) -> Self {
+        FdTree { n_attrs, root: Node::new(n_attrs), len: 0 }
+    }
+
+    /// Number of attributes in the schema this tree serves.
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Number of stored (LHS, RHS) pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no dependency is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `lhs → rhs`; returns true if it was not already present.
+    pub fn add(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
+        let n_attrs = self.n_attrs;
+        let mut node = &mut self.root;
+        for a in lhs.iter() {
+            node = node.children[a as usize].get_or_insert_with(|| Box::new(Node::new(n_attrs)));
+        }
+        if node.rhss.contains(rhs) {
+            false
+        } else {
+            node.rhss.insert(rhs);
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Stores `∅ → A` for every attribute `A` (the most general candidates).
+    pub fn add_most_general(&mut self) {
+        for a in 0..self.n_attrs {
+            self.add(AttrSet::empty(), a as AttrId);
+        }
+    }
+
+    /// True if `lhs → rhs` itself is stored.
+    pub fn contains(&self, lhs: &AttrSet, rhs: AttrId) -> bool {
+        let mut node = &self.root;
+        for a in lhs.iter() {
+            match &node.children[a as usize] {
+                Some(child) => node = child,
+                None => return false,
+            }
+        }
+        node.rhss.contains(rhs)
+    }
+
+    /// True if some stored `Y → rhs` has `Y ⊆ lhs` (non-strict).
+    pub fn contains_generalization(&self, lhs: &AttrSet, rhs: AttrId) -> bool {
+        Self::gen_rec(&self.root, lhs, rhs, 0)
+    }
+
+    fn gen_rec(node: &Node, lhs: &AttrSet, rhs: AttrId, from: usize) -> bool {
+        if node.rhss.contains(rhs) {
+            return true;
+        }
+        for a in lhs.iter().filter(|&a| (a as usize) >= from) {
+            if let Some(child) = &node.children[a as usize] {
+                if Self::gen_rec(child, lhs, rhs, a as usize + 1) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes and returns every stored `Y → rhs` with `Y ⊆ lhs`.
+    pub fn remove_generalizations(&mut self, lhs: &AttrSet, rhs: AttrId) -> Vec<AttrSet> {
+        let mut out = Vec::new();
+        let mut removed = 0usize;
+        Self::remove_gen_rec(&mut self.root, lhs, rhs, AttrSet::empty(), 0, &mut out, &mut removed);
+        self.len -= removed;
+        out
+    }
+
+    fn remove_gen_rec(
+        node: &mut Node,
+        lhs: &AttrSet,
+        rhs: AttrId,
+        path: AttrSet,
+        from: usize,
+        out: &mut Vec<AttrSet>,
+        removed: &mut usize,
+    ) {
+        if node.rhss.contains(rhs) {
+            node.rhss.remove(rhs);
+            out.push(path);
+            *removed += 1;
+        }
+        for a in lhs.iter().filter(|&a| (a as usize) >= from) {
+            if let Some(child) = &mut node.children[a as usize] {
+                Self::remove_gen_rec(child, lhs, rhs, path.with(a), a as usize + 1, out, removed);
+                if child.is_leafless() {
+                    node.children[a as usize] = None;
+                }
+            }
+        }
+    }
+
+    /// Removes the exact dependency `lhs → rhs`; returns true if present.
+    pub fn remove(&mut self, lhs: &AttrSet, rhs: AttrId) -> bool {
+        fn rec(node: &mut Node, attrs: &[AttrId], rhs: AttrId) -> bool {
+            match attrs.split_first() {
+                None => {
+                    if node.rhss.contains(rhs) {
+                        node.rhss.remove(rhs);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Some((&a, rest)) => match &mut node.children[a as usize] {
+                    Some(child) => {
+                        let removed = rec(child, rest, rhs);
+                        if removed && child.is_leafless() {
+                            node.children[a as usize] = None;
+                        }
+                        removed
+                    }
+                    None => false,
+                },
+            }
+        }
+        let attrs: Vec<AttrId> = lhs.iter().collect();
+        let removed = rec(&mut self.root, &attrs, rhs);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// All stored dependencies whose LHS has exactly `level` attributes.
+    /// HyFD's validation phase walks the tree level by level.
+    pub fn level(&self, level: usize) -> Vec<Fd> {
+        let mut out = Vec::new();
+        Self::level_rec(&self.root, AttrSet::empty(), level, &mut out);
+        out
+    }
+
+    fn level_rec(node: &Node, path: AttrSet, remaining: usize, out: &mut Vec<Fd>) {
+        if remaining == 0 {
+            for rhs in node.rhss.iter() {
+                out.push(Fd::new(path, rhs));
+            }
+            return;
+        }
+        for (a, child) in node.children.iter().enumerate() {
+            if let Some(child) = child {
+                Self::level_rec(child, path.with(a as AttrId), remaining - 1, out);
+            }
+        }
+    }
+
+    /// Depth of the deepest stored LHS.
+    pub fn depth(&self) -> usize {
+        fn rec(node: &Node, d: usize) -> usize {
+            let mut best = if node.rhss.is_empty() { 0 } else { d };
+            for child in node.children.iter().flatten() {
+                best = best.max(rec(child, d + 1));
+            }
+            best
+        }
+        rec(&self.root, 0)
+    }
+
+    /// All stored dependencies.
+    pub fn to_fds(&self) -> Vec<Fd> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::all_rec(&self.root, AttrSet::empty(), &mut out);
+        out
+    }
+
+    fn all_rec(node: &Node, path: AttrSet, out: &mut Vec<Fd>) {
+        for rhs in node.rhss.iter() {
+            out.push(Fd::new(path, rhs));
+        }
+        for (a, child) in node.children.iter().enumerate() {
+            if let Some(child) = child {
+                Self::all_rec(child, path.with(a as AttrId), out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(bits: &[u16]) -> AttrSet {
+        AttrSet::from_attrs(bits.iter().copied())
+    }
+
+    #[test]
+    fn add_contains_roundtrip() {
+        let mut t = FdTree::new(5);
+        assert!(t.add(s(&[0, 2]), 4));
+        assert!(!t.add(s(&[0, 2]), 4));
+        assert!(t.contains(&s(&[0, 2]), 4));
+        assert!(!t.contains(&s(&[0, 2]), 3));
+        assert!(!t.contains(&s(&[0]), 4));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn generalization_lookup_is_non_strict() {
+        let mut t = FdTree::new(6);
+        t.add(s(&[1, 3]), 0);
+        assert!(t.contains_generalization(&s(&[1, 3]), 0));
+        assert!(t.contains_generalization(&s(&[1, 2, 3]), 0));
+        assert!(!t.contains_generalization(&s(&[1, 2]), 0));
+        assert!(!t.contains_generalization(&s(&[1, 2, 3]), 5));
+        // Empty LHS generalizes everything once stored.
+        t.add(AttrSet::empty(), 5);
+        assert!(t.contains_generalization(&s(&[4]), 5));
+        assert!(t.contains_generalization(&AttrSet::empty(), 5));
+    }
+
+    #[test]
+    fn remove_generalizations_extracts_all() {
+        let mut t = FdTree::new(6);
+        t.add(s(&[1]), 0);
+        t.add(s(&[1, 3]), 0);
+        t.add(s(&[2]), 0);
+        t.add(s(&[1]), 5); // other RHS untouched
+        let mut removed = t.remove_generalizations(&s(&[1, 3]), 0);
+        removed.sort();
+        assert_eq!(removed, vec![s(&[1]), s(&[1, 3])]);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&s(&[2]), 0));
+        assert!(t.contains(&s(&[1]), 5));
+    }
+
+    #[test]
+    fn level_enumeration() {
+        let mut t = FdTree::new(4);
+        t.add_most_general();
+        assert_eq!(t.level(0).len(), 4);
+        t.add(s(&[0, 1]), 2);
+        t.add(s(&[1, 3]), 0);
+        t.add(s(&[2]), 3);
+        assert_eq!(t.level(1), vec![Fd::new(s(&[2]), 3)]);
+        let l2 = t.level(2);
+        assert_eq!(l2.len(), 2);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn remove_exact_prunes_empty_paths() {
+        let mut t = FdTree::new(4);
+        t.add(s(&[0, 1, 2]), 3);
+        assert!(t.remove(&s(&[0, 1, 2]), 3));
+        assert!(!t.remove(&s(&[0, 1, 2]), 3));
+        assert!(t.is_empty());
+        assert!(t.root.is_leafless());
+    }
+
+    #[test]
+    fn to_fds_returns_everything() {
+        let mut t = FdTree::new(4);
+        t.add(s(&[0]), 1);
+        t.add(s(&[0, 2]), 3);
+        t.add(AttrSet::empty(), 2);
+        let mut fds = t.to_fds();
+        fds.sort();
+        assert_eq!(fds.len(), 3);
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 2)));
+    }
+}

@@ -1,0 +1,168 @@
+//! Query index over a discovered FD set.
+//!
+//! The paper's DMS deployment answers interactive requests of the form
+//! "which attributes determine X?" / "what does X determine?" in real time
+//! (Section I, *Applications on DMS*). [`FdIndex`] precomputes both
+//! directions from a positive cover so each query is a lookup instead of a
+//! scan, and exposes the transitive variants used for underlying-sensitive-
+//! attribute search.
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::closure::closure;
+use crate::fd::{Fd, FdSet};
+
+/// Bidirectional lookup over a positive cover.
+///
+/// ```
+/// use fd_core::{AttrSet, Fd, FdIndex, FdSet};
+///
+/// // 0 = id, 1 = zip, 2 = city: id → zip, zip → city.
+/// let fds: FdSet = [
+///     Fd::new(AttrSet::single(0), 1),
+///     Fd::new(AttrSet::single(1), 2),
+/// ].into_iter().collect();
+/// let index = FdIndex::new(3, fds);
+///
+/// assert_eq!(index.determinants_of(2), &[AttrSet::single(1)]);
+/// // Transitive: id determines both zip and city.
+/// assert_eq!(
+///     index.determined_by(&AttrSet::single(0)),
+///     AttrSet::from_attrs([1u16, 2])
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct FdIndex {
+    n_attrs: usize,
+    fds: FdSet,
+    /// `by_rhs[a]`: LHSs of the minimal FDs determining `a`.
+    by_rhs: Vec<Vec<AttrSet>>,
+    /// `member_of[a]`: FDs whose LHS contains `a`.
+    member_of: Vec<Vec<Fd>>,
+}
+
+impl FdIndex {
+    /// Builds the index from a discovered cover.
+    pub fn new(n_attrs: usize, fds: FdSet) -> Self {
+        let mut by_rhs: Vec<Vec<AttrSet>> = vec![Vec::new(); n_attrs];
+        let mut member_of: Vec<Vec<Fd>> = vec![Vec::new(); n_attrs];
+        for fd in &fds {
+            by_rhs[fd.rhs as usize].push(fd.lhs);
+            for a in fd.lhs.iter() {
+                member_of[a as usize].push(*fd);
+            }
+        }
+        FdIndex { n_attrs, fds, by_rhs, member_of }
+    }
+
+    /// Number of attributes in the indexed schema.
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// The underlying FD set.
+    pub fn fds(&self) -> &FdSet {
+        &self.fds
+    }
+
+    /// Minimal determinant sets of `attr` (direct dependencies only).
+    pub fn determinants_of(&self, attr: AttrId) -> &[AttrSet] {
+        &self.by_rhs[attr as usize]
+    }
+
+    /// FDs whose LHS contains `attr`.
+    pub fn dependents_via(&self, attr: AttrId) -> &[Fd] {
+        &self.member_of[attr as usize]
+    }
+
+    /// Attributes functionally determined by `from` (transitively), not
+    /// counting members of `from` itself.
+    pub fn determined_by(&self, from: &AttrSet) -> AttrSet {
+        closure(from, &self.fds).difference(from)
+    }
+
+    /// The DMS underlying-sensitive-attribute query: every attribute that
+    /// participates in some determinant of a sensitive attribute, directly
+    /// or through a chain of dependencies. `exclude` filters out attributes
+    /// whose exposure is governed separately (e.g. key columns).
+    pub fn underlying_sensitive(&self, sensitive: &AttrSet, exclude: &AttrSet) -> AttrSet {
+        let mut result = AttrSet::empty();
+        let mut targets: Vec<AttrId> = sensitive.iter().collect();
+        let mut visited = *sensitive;
+        while let Some(target) = targets.pop() {
+            for lhs in self.determinants_of(target) {
+                if !lhs.intersect(exclude).is_empty() || lhs.is_empty() {
+                    continue;
+                }
+                for a in lhs.iter() {
+                    if !sensitive.contains(a) {
+                        result.insert(a);
+                    }
+                    if !visited.contains(a) {
+                        visited.insert(a);
+                        // An attribute that leaks a sensitive one is itself
+                        // worth protecting: chase its determinants too.
+                        targets.push(a);
+                    }
+                }
+            }
+        }
+        result.difference(exclude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[AttrId], rhs: AttrId) -> Fd {
+        Fd::new(AttrSet::from_attrs(lhs.iter().copied()), rhs)
+    }
+
+    fn index(fds: &[Fd], n: usize) -> FdIndex {
+        FdIndex::new(n, fds.iter().copied().collect())
+    }
+
+    #[test]
+    fn direct_lookups() {
+        // 0=id, 1=age, 2=birth_code, 3=ward.
+        let idx = index(&[fd(&[0], 1), fd(&[2], 1), fd(&[0], 2)], 4);
+        let dets: Vec<AttrSet> = idx.determinants_of(1).to_vec();
+        assert_eq!(dets.len(), 2);
+        assert!(dets.contains(&AttrSet::single(0)));
+        assert!(dets.contains(&AttrSet::single(2)));
+        assert!(idx.determinants_of(3).is_empty());
+        assert_eq!(idx.dependents_via(0).len(), 2);
+    }
+
+    #[test]
+    fn transitive_determination() {
+        // 0 → 1 → 2.
+        let idx = index(&[fd(&[0], 1), fd(&[1], 2)], 3);
+        let determined = idx.determined_by(&AttrSet::single(0));
+        assert_eq!(determined, AttrSet::from_attrs([1u16, 2]));
+        assert_eq!(idx.determined_by(&AttrSet::single(2)), AttrSet::empty());
+    }
+
+    #[test]
+    fn underlying_sensitive_follows_chains_and_excludes_keys() {
+        // 0=id (key, determines all), 1=age (sensitive), 2=birth_code → age,
+        // 3=cohort → birth_code, 4=ward (unrelated).
+        let idx = index(
+            &[fd(&[0], 1), fd(&[0], 2), fd(&[0], 3), fd(&[0], 4), fd(&[2], 1), fd(&[3], 2)],
+            5,
+        );
+        let sensitive = AttrSet::single(1);
+        let keys = AttrSet::single(0);
+        let underlying = idx.underlying_sensitive(&sensitive, &keys);
+        // birth_code leaks age directly; cohort leaks birth_code → chased.
+        assert_eq!(underlying, AttrSet::from_attrs([2u16, 3]));
+    }
+
+    #[test]
+    fn sensitive_attrs_are_not_their_own_underlying() {
+        // Two sensitive attributes determining each other add nothing.
+        let idx = index(&[fd(&[1], 2), fd(&[2], 1)], 3);
+        let sensitive = AttrSet::from_attrs([1u16, 2]);
+        assert_eq!(idx.underlying_sensitive(&sensitive, &AttrSet::empty()), AttrSet::empty());
+    }
+}

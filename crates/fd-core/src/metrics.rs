@@ -1,0 +1,114 @@
+//! Accuracy metrics for approximate FD discovery.
+//!
+//! The paper scores approximate results against the exact target positive
+//! cover with the F1 measure [33]: precision = |found ∩ truth| / |found|,
+//! recall = |found ∩ truth| / |truth|, F1 = harmonic mean. Matching is exact
+//! on (LHS, RHS) pairs, i.e. a specialization of a true minimal FD counts as
+//! both a false positive and a missed true FD, just like in the paper's
+//! benchmark tooling.
+
+use crate::fd::FdSet;
+
+/// Precision / recall / F1 of a discovered FD set against ground truth.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Accuracy {
+    /// |found ∩ truth| / |found|; 1.0 when nothing was found and truth is empty.
+    pub precision: f64,
+    /// |found ∩ truth| / |truth|; 1.0 when truth is empty.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of exactly matching FDs.
+    pub true_positives: usize,
+    /// FDs reported but not in the ground truth.
+    pub false_positives: usize,
+    /// Ground-truth FDs not reported.
+    pub false_negatives: usize,
+}
+
+impl Accuracy {
+    /// Scores `found` against `truth`.
+    pub fn of(found: &FdSet, truth: &FdSet) -> Accuracy {
+        let tp = found.iter().filter(|fd| truth.contains(fd)).count();
+        let fp = found.len() - tp;
+        let fnn = truth.len() - tp;
+        let precision = if found.is_empty() {
+            if truth.is_empty() { 1.0 } else { 0.0 }
+        } else {
+            tp as f64 / found.len() as f64
+        };
+        let recall = if truth.is_empty() { 1.0 } else { tp as f64 / truth.len() as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Accuracy {
+            precision,
+            recall,
+            f1,
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fnn,
+        }
+    }
+
+    /// True if every FD matched in both directions.
+    pub fn is_perfect(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrset::AttrSet;
+    use crate::fd::Fd;
+
+    fn fd(lhs: &[u16], rhs: u16) -> Fd {
+        Fd::new(AttrSet::from_attrs(lhs.iter().copied()), rhs)
+    }
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let truth: FdSet = [fd(&[0], 1), fd(&[2], 3)].into_iter().collect();
+        let acc = Accuracy::of(&truth.clone(), &truth);
+        assert_eq!(acc.f1, 1.0);
+        assert!(acc.is_perfect());
+        assert_eq!(acc.true_positives, 2);
+    }
+
+    #[test]
+    fn partial_match_scores_harmonic_mean() {
+        let truth: FdSet = [fd(&[0], 1), fd(&[2], 3)].into_iter().collect();
+        let found: FdSet = [fd(&[0], 1), fd(&[4], 3)].into_iter().collect();
+        let acc = Accuracy::of(&found, &truth);
+        assert_eq!(acc.true_positives, 1);
+        assert_eq!(acc.false_positives, 1);
+        assert_eq!(acc.false_negatives, 1);
+        assert!((acc.precision - 0.5).abs() < 1e-12);
+        assert!((acc.recall - 0.5).abs() < 1e-12);
+        assert!((acc.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specialization_of_true_fd_is_not_a_match() {
+        let truth: FdSet = [fd(&[0], 1)].into_iter().collect();
+        let found: FdSet = [fd(&[0, 2], 1)].into_iter().collect();
+        let acc = Accuracy::of(&found, &truth);
+        assert_eq!(acc.true_positives, 0);
+        assert_eq!(acc.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let empty = FdSet::new();
+        let some: FdSet = [fd(&[0], 1)].into_iter().collect();
+        assert_eq!(Accuracy::of(&empty, &empty).f1, 1.0);
+        assert_eq!(Accuracy::of(&empty, &some).f1, 0.0);
+        let acc = Accuracy::of(&some, &empty);
+        assert_eq!(acc.precision, 0.0);
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.f1, 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Property tests for the fd-core data structures, pitting the tree-backed
+//! stores against the linear-scan [`NaiveLhsStore`] oracle and checking the
+//! algebraic laws the covers rely on.
+
+use fd_core::{
+    invert_ncover, AttrId, AttrSet, Fd, FdSet, FdTree, LhsTree, NCover, NaiveLhsStore,
+};
+use proptest::prelude::*;
+
+/// Attribute sets over a small universe so subset relations are common.
+fn attr_set(max_attr: u16) -> impl Strategy<Value = AttrSet> {
+    prop::collection::vec(0..max_attr, 0..6).prop_map(AttrSet::from_attrs)
+}
+
+/// A random operation on an LHS store.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(AttrSet),
+    Remove(AttrSet),
+    RemoveSubsetsOf(AttrSet),
+}
+
+fn op(max_attr: u16) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => attr_set(max_attr).prop_map(Op::Insert),
+        1 => attr_set(max_attr).prop_map(Op::Remove),
+        1 => attr_set(max_attr).prop_map(Op::RemoveSubsetsOf),
+    ]
+}
+
+proptest! {
+    /// The LhsTree agrees with the naive store on every query after any
+    /// operation sequence.
+    #[test]
+    fn lhs_tree_matches_naive_oracle(
+        ops in prop::collection::vec(op(10), 1..60),
+        queries in prop::collection::vec(attr_set(10), 1..20),
+    ) {
+        let mut tree = LhsTree::new();
+        let mut naive = NaiveLhsStore::new();
+        for o in &ops {
+            match o {
+                Op::Insert(s) => {
+                    prop_assert_eq!(tree.insert(*s), naive.insert(*s));
+                }
+                Op::Remove(s) => {
+                    prop_assert_eq!(tree.remove(s), naive.remove(s));
+                }
+                Op::RemoveSubsetsOf(s) => {
+                    let mut a = tree.remove_subsets_of(s);
+                    let mut b = naive.collect_subsets_of(s);
+                    for x in &b {
+                        naive.remove(x);
+                    }
+                    a.sort();
+                    b.sort();
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(tree.len(), naive.len());
+        }
+        for q in &queries {
+            prop_assert_eq!(tree.contains_subset_of(q), naive.contains_subset_of(q));
+            prop_assert_eq!(tree.contains_superset_of(q), naive.contains_superset_of(q));
+            let mut a = tree.collect_subsets_of(q);
+            let mut b = naive.collect_subsets_of(q);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+            let mut a = tree.collect_supersets_of(q);
+            let mut b = naive.collect_supersets_of(q);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+        let mut a = tree.to_vec();
+        let mut b: Vec<AttrSet> = naive.iter().copied().collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The FD-tree's generalization queries agree with a brute-force scan.
+    #[test]
+    fn fd_tree_generalizations_match_brute_force(
+        entries in prop::collection::vec((attr_set(8), 0..8u16), 1..40),
+        queries in prop::collection::vec((attr_set(8), 0..8u16), 1..15),
+    ) {
+        let mut tree = FdTree::new(8);
+        let mut plain: Vec<(AttrSet, AttrId)> = Vec::new();
+        for (lhs, rhs) in &entries {
+            if tree.add(*lhs, *rhs) {
+                plain.push((*lhs, *rhs));
+            }
+        }
+        prop_assert_eq!(tree.len(), plain.len());
+        for (lhs, rhs) in &queries {
+            let expect = plain.iter().any(|(l, r)| r == rhs && l.is_subset_of(lhs));
+            prop_assert_eq!(tree.contains_generalization(lhs, *rhs), expect);
+        }
+        // Removing generalizations leaves exactly the non-generalizations.
+        if let Some((lhs, rhs)) = queries.first() {
+            let mut removed = tree.remove_generalizations(lhs, *rhs);
+            removed.sort();
+            let mut expect: Vec<AttrSet> = plain
+                .iter()
+                .filter(|(l, r)| r == rhs && l.is_subset_of(lhs))
+                .map(|(l, _)| *l)
+                .collect();
+            expect.sort();
+            prop_assert_eq!(removed, expect);
+            prop_assert!(!tree.contains_generalization(lhs, *rhs));
+        }
+    }
+
+    /// NCover invariant: stored non-FDs are pairwise incomparable (maximal),
+    /// and `invalidates` answers exactly "is some stored superset present".
+    #[test]
+    fn ncover_stores_an_antichain(
+        agrees in prop::collection::vec(attr_set(6), 1..30),
+    ) {
+        let mut nc = NCover::new(6);
+        for a in &agrees {
+            nc.add_agree_set(*a);
+        }
+        let fds = nc.to_fds();
+        prop_assert_eq!(fds.len(), nc.len());
+        for x in &fds {
+            for y in &fds {
+                if x != y && x.rhs == y.rhs {
+                    prop_assert!(
+                        !x.lhs.is_subset_of(&y.lhs),
+                        "{:?} and {:?} are comparable", x, y
+                    );
+                }
+            }
+        }
+        // Every recorded agree set must be absorbed by some stored non-FD.
+        for a in &agrees {
+            for rhs in 0..6u16 {
+                if !a.contains(rhs) {
+                    prop_assert!(nc.invalidates(&Fd::new(*a, rhs)));
+                }
+            }
+        }
+    }
+
+    /// Inversion is exactly the complement of the negative cover: a
+    /// dependency is covered by the Pcover iff no stored non-FD invalidates
+    /// it, checked exhaustively over the 5-attribute lattice.
+    #[test]
+    fn inversion_complements_ncover(
+        agrees in prop::collection::vec(attr_set(5), 0..20),
+    ) {
+        let mut nc = NCover::new(5);
+        for a in &agrees {
+            nc.add_agree_set(*a);
+        }
+        let pc = invert_ncover(&nc);
+        let fds = pc.to_fdset();
+        prop_assert!(fds.is_minimal_cover());
+        for rhs in 0..5u16 {
+            for mask in 0u32..32 {
+                let lhs = AttrSet::from_attrs((0..5u16).filter(|a| mask & (1 << a) != 0));
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                let fd = Fd::new(lhs, rhs);
+                prop_assert_eq!(pc.covers(&fd), !nc.invalidates(&fd), "disagree on {:?}", fd);
+            }
+        }
+    }
+
+    /// Incremental inversion (non-FD at a time) produces the same Pcover as
+    /// batch inversion regardless of arrival order.
+    #[test]
+    fn inversion_is_order_independent(
+        agrees in prop::collection::vec(attr_set(5), 1..12),
+        seed in 0u64..1000,
+    ) {
+        let mut nc = NCover::new(5);
+        for a in &agrees {
+            nc.add_agree_set(*a);
+        }
+        let baseline = invert_ncover(&nc).to_fdset();
+
+        // Shuffle the maximal non-FDs deterministically and invert one by one.
+        let mut fds = nc.to_fds();
+        let n = fds.len();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            fds.swap(i, j);
+        }
+        let mut pc = fd_core::PCover::initialized(5);
+        for fd in fds {
+            pc.invert(fd);
+        }
+        prop_assert_eq!(pc.to_fdset(), baseline);
+    }
+
+    /// Bitset algebra laws on random sets.
+    #[test]
+    fn attrset_algebra_laws(a in attr_set(200), b in attr_set(200), c in attr_set(200)) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&b).intersect(&c), a.intersect(&c).union(&b.intersect(&c)));
+        prop_assert!(a.intersect(&b).is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&a.union(&b)));
+        prop_assert_eq!(a.difference(&b).union(&a.intersect(&b)), a);
+        prop_assert!(a.difference(&b).is_disjoint(&b));
+        prop_assert_eq!(a.union(&b).len() + a.intersect(&b).len(), a.len() + b.len());
+        // Iteration round-trips.
+        prop_assert_eq!(AttrSet::from_attrs(a.iter()), a);
+    }
+}
+
+/// A random small FD set over `max_attr` attributes.
+fn fd_set(max_attr: u16) -> impl Strategy<Value = FdSet> {
+    prop::collection::vec((attr_set(max_attr), 0..max_attr), 0..12).prop_map(|v| {
+        v.into_iter()
+            .map(|(lhs, rhs)| Fd::new(lhs.without(rhs), rhs))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Closure laws: extensive, monotone, idempotent; `implies` is
+    /// consistent with direct closure membership.
+    #[test]
+    fn closure_laws(fds in fd_set(6), x in attr_set(6), y in attr_set(6)) {
+        use fd_core::closure::{closure, implies};
+        let cx = closure(&x, &fds);
+        prop_assert!(x.is_subset_of(&cx), "extensive");
+        prop_assert_eq!(closure(&cx, &fds), cx, "idempotent");
+        if x.is_subset_of(&y) {
+            prop_assert!(cx.is_subset_of(&closure(&y, &fds)), "monotone");
+        }
+        for rhs in 0..6u16 {
+            prop_assert_eq!(
+                implies(&fds, &Fd::new(x, rhs)),
+                x.contains(rhs) || cx.contains(rhs)
+            );
+        }
+    }
+
+    /// Non-redundant covers stay logically equivalent to the original.
+    #[test]
+    fn non_redundant_cover_preserves_semantics(fds in fd_set(6)) {
+        use fd_core::closure::{equivalent, non_redundant_cover};
+        let reduced = non_redundant_cover(&fds);
+        prop_assert!(reduced.len() <= fds.len());
+        prop_assert!(equivalent(&fds, &reduced));
+    }
+
+    /// Candidate keys: every reported key closes to the full schema, keys
+    /// are pairwise incomparable, and every attribute set that closes to the
+    /// full schema contains some reported key (checked exhaustively on 5
+    /// attributes).
+    #[test]
+    fn candidate_keys_are_sound_and_complete(fds in fd_set(5)) {
+        use fd_core::closure::{candidate_keys, closure};
+        let all = AttrSet::full(5);
+        let keys = candidate_keys(5, &fds);
+        for k in &keys {
+            prop_assert_eq!(closure(k, &fds), all, "key must close to R");
+            for other in &keys {
+                if k != other {
+                    prop_assert!(!k.is_subset_of(other), "keys form an antichain");
+                }
+            }
+        }
+        for mask in 0u32..32 {
+            let x = AttrSet::from_attrs((0..5u16).filter(|a| mask & (1 << a) != 0));
+            if closure(&x, &fds) == all {
+                prop_assert!(
+                    keys.iter().any(|k| k.is_subset_of(&x)),
+                    "superkey {:?} contains no reported key {:?}", x, keys
+                );
+            }
+        }
+    }
+
+    /// The FdIndex's transitive queries agree with closures.
+    #[test]
+    fn fd_index_matches_closure(fds in fd_set(6), from in attr_set(6)) {
+        use fd_core::closure::closure;
+        use fd_core::FdIndex;
+        let idx = FdIndex::new(6, fds.clone());
+        prop_assert_eq!(
+            idx.determined_by(&from),
+            closure(&from, &fds).difference(&from)
+        );
+    }
+}
+
+/// A deterministic regression: an FdSet built from a PCover equals the set
+/// rebuilt from its own iterator.
+#[test]
+fn fdset_roundtrip_through_iterator() {
+    let mut nc = NCover::new(4);
+    nc.add_agree_set(AttrSet::from_attrs([0u16, 1]));
+    nc.add_agree_set(AttrSet::from_attrs([2u16]));
+    let fds = invert_ncover(&nc).to_fdset();
+    let rebuilt: FdSet = fds.iter().copied().collect();
+    assert_eq!(fds, rebuilt);
+}

@@ -1,0 +1,48 @@
+//! Relational data substrate for the EulerFD reproduction.
+//!
+//! Implements the paper's preprocessing module (Section IV-B) and everything
+//! the discovery algorithms need from the data side:
+//!
+//! * [`relation`] — dictionary-encoded relations ([`Relation`]) with
+//!   agree-set computation and full-instance FD verification;
+//! * [`csv`] — a dependency-free RFC-4180 CSV reader/writer;
+//! * [`partition`] — partitions, stripped partitions (Definitions 6–7),
+//!   partition products, and the sampler cluster population;
+//! * [`synth`] — seeded generators standing in for the paper's 19
+//!   evaluation datasets and the DMS production fleet.
+//!
+//! ```
+//! use fd_relation::prelude::*;
+//!
+//! let relation = synth::patient();
+//! assert_eq!(relation.n_rows(), 9);
+//! // "Age, Blood pressure → Medicine" holds on Table I.
+//! let lhs = fd_core::AttrSet::from_attrs([1u16, 2]);
+//! assert!(relation.fd_holds(&lhs, 4));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod csv;
+pub mod discovery;
+pub mod partition;
+pub mod profile;
+pub mod relation;
+pub mod synth;
+
+pub use approx::{g3_error, g3_of, g3_report, G3Report};
+pub use csv::{read_csv, read_csv_file, write_csv, CsvError, CsvOptions, NullPolicy};
+pub use discovery::{verify_fds, FdAlgorithm};
+pub use partition::{sampling_clusters, Partition};
+pub use profile::{profile, ColumnProfile, RelationProfile};
+pub use relation::{NullLabeling, Relation, RelationBuilder, RowId};
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use crate::csv::{read_csv, read_csv_file, CsvOptions};
+    pub use crate::discovery::{verify_fds, FdAlgorithm};
+    pub use crate::partition::{sampling_clusters, Partition};
+    pub use crate::relation::{Relation, RelationBuilder, RowId};
+    pub use crate::synth;
+}

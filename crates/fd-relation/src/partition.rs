@@ -1,0 +1,263 @@
+//! Partitions and stripped partitions (Definitions 6–7).
+//!
+//! A partition `Π_A` groups the tuples of a relation by their value on
+//! attribute `A`; a *stripped* partition `Π̂_A` drops singleton clusters,
+//! which can neither produce a non-FD nor distinguish candidate FDs. The
+//! partition *product* `Π_X · Π_Y = Π_{X∪Y}` is the work-horse of Tane's
+//! validation step, and cluster lists drive the samplers of EulerFD, AID-FD,
+//! and HyFD.
+
+use crate::relation::{Relation, RowId};
+use fd_core::{AttrId, FastHashMap, FastHashSet};
+
+/// A (possibly stripped) partition: a list of clusters of row ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    clusters: Vec<Vec<RowId>>,
+    /// Number of rows of the underlying relation (needed by the error
+    /// measure because stripped singletons are not stored).
+    n_rows: usize,
+}
+
+impl Partition {
+    /// The full partition of `relation` on attribute `a`, with clusters in
+    /// first-occurrence order and rows ascending inside each cluster.
+    pub fn of_column(relation: &Relation, a: AttrId) -> Partition {
+        let col = relation.column(a);
+        let mut clusters: Vec<Vec<RowId>> = vec![Vec::new(); relation.n_distinct(a)];
+        for (t, &label) in col.iter().enumerate() {
+            clusters[label as usize].push(t as RowId);
+        }
+        // Dictionary labels are assigned in first-occurrence order already,
+        // but re-sort defensively so the invariant never depends on that.
+        clusters.sort_by_key(|c| c.first().copied().unwrap_or(u32::MAX));
+        Partition { clusters, n_rows: relation.n_rows() }
+    }
+
+    /// The stripped partition: singleton clusters removed (Definition 7).
+    pub fn stripped(mut self) -> Partition {
+        self.clusters.retain(|c| c.len() > 1);
+        self
+    }
+
+    /// Builds directly from clusters (tests and samplers).
+    pub fn from_clusters(clusters: Vec<Vec<RowId>>, n_rows: usize) -> Partition {
+        Partition { clusters, n_rows }
+    }
+
+    /// The clusters.
+    pub fn clusters(&self) -> &[Vec<RowId>] {
+        &self.clusters
+    }
+
+    /// Number of clusters stored.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of rows of the underlying relation.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Total rows covered by stored clusters.
+    pub fn covered_rows(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).sum()
+    }
+
+    /// Tane's error measure `e(Π) = (covered − #clusters) / n`: the minimum
+    /// fraction of rows to remove for the partition to become a key.
+    /// `Π_X` refines `Π_{X∪{A}}` exactly when their errors coincide.
+    pub fn error(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        (self.covered_rows() - self.n_clusters()) as f64 / self.n_rows as f64
+    }
+
+    /// The product `self · other` (stripped): clusters of rows that are
+    /// together in both partitions. Implements the standard two-pass probe
+    /// algorithm over stripped inputs.
+    pub fn product(&self, other: &Partition) -> Partition {
+        debug_assert_eq!(self.n_rows, other.n_rows);
+        // Map each row covered by `self` to its cluster index.
+        let mut owner: FastHashMap<RowId, u32> = FastHashMap::default();
+        owner.reserve(self.covered_rows());
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            for &t in cluster {
+                owner.insert(t, i as u32);
+            }
+        }
+        // Group rows of each `other`-cluster by their `self`-cluster.
+        let mut out: Vec<Vec<RowId>> = Vec::new();
+        let mut groups: FastHashMap<u32, Vec<RowId>> = FastHashMap::default();
+        for cluster in &other.clusters {
+            groups.clear();
+            for &t in cluster {
+                if let Some(&o) = owner.get(&t) {
+                    groups.entry(o).or_default().push(t);
+                }
+            }
+            for (_, mut rows) in groups.drain() {
+                if rows.len() > 1 {
+                    rows.sort_unstable();
+                    out.push(rows);
+                }
+            }
+        }
+        out.sort_by_key(|c| c.first().copied().unwrap_or(u32::MAX));
+        Partition { clusters: out, n_rows: self.n_rows }
+    }
+
+    /// True if every cluster of `self` is contained in some cluster of
+    /// `other` — i.e. `self` refines `other`. With `self = Π̂_X` and
+    /// `other = Π_A` this decides `X → A` (used as a test oracle).
+    pub fn refines(&self, other: &Partition) -> bool {
+        let mut owner: FastHashMap<RowId, u32> = FastHashMap::default();
+        for (i, cluster) in other.clusters.iter().enumerate() {
+            for &t in cluster {
+                owner.insert(t, i as u32);
+            }
+        }
+        for cluster in &self.clusters {
+            let mut it = cluster.iter();
+            let first = match it.next() {
+                Some(&t) => owner.get(&t),
+                None => continue,
+            };
+            for &t in it {
+                if owner.get(&t) != first {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The cluster population the samplers draw from: every cluster of every
+/// attribute's stripped partition, deduplicated by content (identical
+/// clusters recur across correlated columns and would be sampled repeatedly
+/// for no new information).
+pub fn sampling_clusters(relation: &Relation) -> Vec<Vec<RowId>> {
+    let mut seen: FastHashSet<Vec<RowId>> = FastHashSet::default();
+    let mut out = Vec::new();
+    for a in 0..relation.n_attrs() {
+        let stripped = Partition::of_column(relation, a as AttrId).stripped();
+        for cluster in stripped.clusters {
+            if seen.insert(cluster.clone()) {
+                out.push(cluster);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::patient;
+    use fd_core::AttrSet;
+
+    #[test]
+    fn example_5_partitions() {
+        let r = patient();
+        // Π_Age = {{t1},{t2,t5,t7},{t3},{t4,t6},{t8},{t9}} (Example 5).
+        let age = Partition::of_column(&r, 1);
+        assert_eq!(age.n_clusters(), 6);
+        assert!(age.clusters().contains(&vec![1, 4, 6]));
+        assert!(age.clusters().contains(&vec![3, 5]));
+        // Π_Gender = {{t1,t3..t7 minus t2}, {t2,t8}, {t9}}.
+        let gender = Partition::of_column(&r, 3);
+        assert_eq!(gender.n_clusters(), 3);
+        assert!(gender.clusters().contains(&vec![0, 2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn example_6_stripped_partitions() {
+        let r = patient();
+        let age = Partition::of_column(&r, 1).stripped();
+        assert_eq!(age.clusters(), &[vec![1, 4, 6], vec![3, 5]]);
+        let gender = Partition::of_column(&r, 3).stripped();
+        assert_eq!(gender.clusters(), &[vec![0, 2, 3, 4, 5, 6], vec![1, 7]]);
+        // Name is a key: its stripped partition is empty.
+        let name = Partition::of_column(&r, 0).stripped();
+        assert_eq!(name.n_clusters(), 0);
+    }
+
+    #[test]
+    fn product_computes_joint_partition() {
+        let r = patient();
+        // Π̂_{Age,Gender}: rows agreeing on both Age and Gender.
+        let age = Partition::of_column(&r, 1).stripped();
+        let gender = Partition::of_column(&r, 3).stripped();
+        let joint = age.product(&gender);
+        // t2(F? no t2 is Male)... rows 1,4,6 share Age=32; genders are
+        // M,F,F → cluster {4,6}. Rows 3,5 share Age=49, both Female → {3,5}.
+        assert_eq!(joint.clusters(), &[vec![3, 5], vec![4, 6]]);
+        // Product is commutative on cluster content.
+        let joint2 = gender.product(&age);
+        assert_eq!(joint.clusters(), joint2.clusters());
+    }
+
+    #[test]
+    fn product_matches_direct_grouping() {
+        let r = patient();
+        for a in 0..r.n_attrs() as u16 {
+            for b in 0..r.n_attrs() as u16 {
+                let pa = Partition::of_column(&r, a).stripped();
+                let pb = Partition::of_column(&r, b).stripped();
+                let prod = pa.product(&pb);
+                // Oracle: group rows by the (label_a, label_b) pair.
+                let mut groups: std::collections::BTreeMap<(u32, u32), Vec<RowId>> =
+                    Default::default();
+                for t in 0..r.n_rows() as u32 {
+                    groups.entry((r.label(t, a), r.label(t, b))).or_default().push(t);
+                }
+                let mut expect: Vec<Vec<RowId>> =
+                    groups.into_values().filter(|c| c.len() > 1).collect();
+                expect.sort_by_key(|c| c[0]);
+                assert_eq!(prod.clusters(), &expect[..], "attrs {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_decides_fds() {
+        let r = patient();
+        // AB → M holds: Π̂_{A,B} refines Π_M.
+        let ab = Partition::of_column(&r, 1)
+            .stripped()
+            .product(&Partition::of_column(&r, 2).stripped());
+        assert!(ab.refines(&Partition::of_column(&r, 4)));
+        // G ↛ M: Π̂_G does not refine Π_M.
+        let g = Partition::of_column(&r, 3).stripped();
+        assert!(!g.refines(&Partition::of_column(&r, 4)));
+        // Consistency with the hash-based verifier.
+        assert_eq!(
+            ab.refines(&Partition::of_column(&r, 4)),
+            r.fd_holds(&AttrSet::from_attrs([1u16, 2]), 4)
+        );
+    }
+
+    #[test]
+    fn error_measure() {
+        let p = Partition::from_clusters(vec![vec![0, 1, 2], vec![3, 4]], 6);
+        // covered = 5, clusters = 2 → e = 3/6.
+        assert!((p.error() - 0.5).abs() < 1e-12);
+        let key = Partition::from_clusters(vec![], 6);
+        assert_eq!(key.error(), 0.0);
+    }
+
+    #[test]
+    fn sampling_clusters_dedupe_identical_content() {
+        // Two perfectly correlated columns produce identical clusters.
+        let r = Relation::from_encoded_columns(
+            "c",
+            vec!["x".into(), "y".into(), "z".into()],
+            vec![vec![0, 0, 1, 1], vec![0, 0, 1, 1], vec![0, 1, 2, 3]],
+        );
+        let clusters = sampling_clusters(&r);
+        assert_eq!(clusters.len(), 2); // {0,1} and {2,3}, each only once
+    }
+}

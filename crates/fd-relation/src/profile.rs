@@ -1,0 +1,187 @@
+//! Data profiling: per-column and whole-relation statistics.
+//!
+//! Sampling-based discovery lives or dies by cluster structure — how many
+//! clusters each column contributes and how large they are (Section IV-B/C).
+//! This module computes the statistics that explain a dataset's behaviour
+//! under every algorithm in the suite: cardinalities, null-like label
+//! shares, cluster-size distributions, and the total intra-cluster pair
+//! counts that bound Fdep/FastFDs work and EulerFD's sampling population.
+
+use crate::partition::Partition;
+use crate::relation::Relation;
+use fd_core::AttrId;
+
+/// Statistics of one column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Distinct values.
+    pub distinct: usize,
+    /// `distinct / rows` — 1.0 for key columns.
+    pub uniqueness: f64,
+    /// Clusters in the stripped partition (size > 1 groups).
+    pub clusters: usize,
+    /// Rows covered by those clusters.
+    pub covered_rows: usize,
+    /// Size of the largest cluster.
+    pub max_cluster: usize,
+    /// Tuple pairs inside this column's clusters (`Σ k·(k−1)/2`).
+    pub intra_pairs: u64,
+}
+
+/// Statistics of a whole relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationProfile {
+    /// Dataset name.
+    pub name: String,
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Per-column profiles, in schema order.
+    pub columns: Vec<ColumnProfile>,
+    /// Key-like columns (uniqueness = 1).
+    pub key_columns: usize,
+    /// Constant columns (distinct ≤ 1).
+    pub constant_columns: usize,
+    /// Total distinct sampling clusters (deduplicated across columns).
+    pub sampling_clusters: usize,
+    /// Total intra-cluster pairs over the deduplicated cluster population —
+    /// the exhaustive-enumeration budget Fdep/FastFDs/Dep-Miner face and the
+    /// upper bound on EulerFD/AID-FD sampling.
+    pub total_pairs: u64,
+}
+
+/// Profiles a relation.
+pub fn profile(relation: &Relation) -> RelationProfile {
+    let rows = relation.n_rows();
+    let mut columns = Vec::with_capacity(relation.n_attrs());
+    for a in 0..relation.n_attrs() {
+        let a = a as AttrId;
+        let distinct = relation.n_distinct(a);
+        let stripped = Partition::of_column(relation, a).stripped();
+        let covered = stripped.covered_rows();
+        let max_cluster = stripped.clusters().iter().map(|c| c.len()).max().unwrap_or(0);
+        let intra_pairs = stripped
+            .clusters()
+            .iter()
+            .map(|c| (c.len() as u64) * (c.len() as u64 - 1) / 2)
+            .sum();
+        columns.push(ColumnProfile {
+            name: relation.column_names()[a as usize].clone(),
+            distinct,
+            uniqueness: if rows == 0 { 0.0 } else { distinct as f64 / rows as f64 },
+            clusters: stripped.n_clusters(),
+            covered_rows: covered,
+            max_cluster,
+            intra_pairs,
+        });
+    }
+    let dedup_clusters = crate::partition::sampling_clusters(relation);
+    let total_pairs = dedup_clusters
+        .iter()
+        .map(|c| (c.len() as u64) * (c.len() as u64 - 1) / 2)
+        .sum();
+    RelationProfile {
+        name: relation.name().to_string(),
+        rows,
+        cols: relation.n_attrs(),
+        key_columns: columns.iter().filter(|c| c.distinct == rows && rows > 0).count(),
+        constant_columns: columns.iter().filter(|c| c.distinct <= 1).count(),
+        sampling_clusters: dedup_clusters.len(),
+        total_pairs,
+        columns,
+    }
+}
+
+impl RelationProfile {
+    /// Renders a human-readable report (used by `fdtool profile`).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} rows x {} cols — {} key column(s), {} constant, {} sampling clusters, {} intra-cluster pairs",
+            self.name, self.rows, self.cols, self.key_columns, self.constant_columns,
+            self.sampling_clusters, self.total_pairs
+        );
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9} {:>7} {:>9} {:>9} {:>11} {:>12}",
+            "column", "distinct", "uniq", "clusters", "maxclust", "covered", "pairs"
+        );
+        for c in &self.columns {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>9} {:>7.3} {:>9} {:>9} {:>11} {:>12}",
+                c.name, c.distinct, c.uniqueness, c.clusters, c.max_cluster, c.covered_rows,
+                c.intra_pairs
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::patient;
+
+    #[test]
+    fn patient_profile_matches_hand_counts() {
+        let p = profile(&patient());
+        assert_eq!(p.rows, 9);
+        assert_eq!(p.cols, 5);
+        // Name is a key.
+        assert_eq!(p.key_columns, 1);
+        assert_eq!(p.constant_columns, 0);
+        let name = &p.columns[0];
+        assert_eq!(name.distinct, 9);
+        assert_eq!(name.clusters, 0);
+        assert_eq!(name.intra_pairs, 0);
+        // Age: clusters {t2,t5,t7} and {t4,t6} → 3+1 = 4 pairs (Example 6).
+        let age = &p.columns[1];
+        assert_eq!(age.clusters, 2);
+        assert_eq!(age.covered_rows, 5);
+        assert_eq!(age.max_cluster, 3);
+        assert_eq!(age.intra_pairs, 4);
+        // Gender: {6 Female} + {2 Male} → 15 + 1 = 16 pairs.
+        let gender = &p.columns[3];
+        assert_eq!(gender.intra_pairs, 16);
+    }
+
+    #[test]
+    fn totals_use_deduplicated_clusters() {
+        let r = Relation::from_encoded_columns(
+            "dup",
+            vec!["x".into(), "y".into()],
+            vec![vec![0, 0, 1, 1], vec![0, 0, 1, 1]],
+        );
+        let p = profile(&r);
+        // Identical columns produce identical clusters; dedup keeps 2.
+        assert_eq!(p.sampling_clusters, 2);
+        assert_eq!(p.total_pairs, 2);
+        // Per-column stats are not deduplicated.
+        assert_eq!(p.columns[0].intra_pairs, 2);
+        assert_eq!(p.columns[1].intra_pairs, 2);
+    }
+
+    #[test]
+    fn render_mentions_every_column() {
+        let p = profile(&patient());
+        let s = p.render();
+        for name in ["Name", "Age", "Blood pressure", "Gender", "Medicine"] {
+            assert!(s.contains(name), "{s}");
+        }
+    }
+
+    #[test]
+    fn empty_relation_profile() {
+        let r = Relation::from_encoded_columns("e", vec!["a".into()], vec![vec![]]);
+        let p = profile(&r);
+        assert_eq!(p.rows, 0);
+        assert_eq!(p.total_pairs, 0);
+        assert_eq!(p.columns[0].uniqueness, 0.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Dictionary-encoded relational instances.
+//!
+//! The preprocessing module of EulerFD (Section IV-B) replaces raw values of
+//! every attribute with dense numerical labels — two cells compare equal iff
+//! their labels are equal, which is all any FD algorithm ever asks of the
+//! data. [`Relation`] stores exactly that encoded form, column-major
+//! (`Vec<u32>` per attribute), which is both the paper's Table II
+//! representation and the cache-friendly layout for the pairwise row
+//! comparisons that dominate discovery time.
+
+use fd_core::{AttrId, AttrSet, FastHashMap, MAX_ATTRS};
+
+/// Identifier of a row (tuple) within a relation.
+pub type RowId = u32;
+
+/// A dictionary-encoded relational instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Relation {
+    name: String,
+    column_names: Vec<String>,
+    /// Column-major labels: `columns[a][t]` is the label of tuple `t` on
+    /// attribute `a`. Labels are dense per column: `0..n_distinct(a)`.
+    columns: Vec<Vec<u32>>,
+    /// Number of distinct labels per column.
+    distinct: Vec<u32>,
+    n_rows: usize,
+}
+
+impl Relation {
+    /// Builds a relation from encoded columns. Each column must already use
+    /// dense labels `0..k`; use [`RelationBuilder`] to encode raw values.
+    ///
+    /// # Panics
+    /// Panics if columns have unequal lengths, if the schema exceeds
+    /// [`MAX_ATTRS`] attributes, or if names and columns disagree in count.
+    pub fn from_encoded_columns(
+        name: impl Into<String>,
+        column_names: Vec<String>,
+        columns: Vec<Vec<u32>>,
+    ) -> Self {
+        assert_eq!(column_names.len(), columns.len(), "one name per column required");
+        assert!(columns.len() <= MAX_ATTRS, "schema exceeds {MAX_ATTRS} attributes");
+        let n_rows = columns.first().map_or(0, |c| c.len());
+        assert!(
+            columns.iter().all(|c| c.len() == n_rows),
+            "all columns must have the same number of rows"
+        );
+        assert!(n_rows <= u32::MAX as usize, "row count exceeds u32 range");
+        let distinct = columns
+            .iter()
+            .map(|c| c.iter().max().map_or(0, |&m| m + 1))
+            .collect();
+        Relation { name: name.into(), column_names, columns, distinct, n_rows }
+    }
+
+    /// Dataset name (used in reports and benchmark tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the relation (generators use this when deriving variants).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Column (attribute) names, indexed by [`AttrId`].
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of tuples.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of distinct values in column `a`.
+    pub fn n_distinct(&self, a: AttrId) -> usize {
+        self.distinct[a as usize] as usize
+    }
+
+    /// The encoded labels of column `a`.
+    #[inline]
+    pub fn column(&self, a: AttrId) -> &[u32] {
+        &self.columns[a as usize]
+    }
+
+    /// The label of tuple `t` on attribute `a`.
+    #[inline]
+    pub fn label(&self, t: RowId, a: AttrId) -> u32 {
+        self.columns[a as usize][t as usize]
+    }
+
+    /// The agree set of tuples `t` and `u`: all attributes on which they
+    /// share a label. A sampled pair's agree set `S` yields the non-FDs
+    /// `S ↛ a` for every `a ∉ S` (Section IV-C).
+    pub fn agree_set(&self, t: RowId, u: RowId) -> AttrSet {
+        let mut agree = AttrSet::empty();
+        for (a, col) in self.columns.iter().enumerate() {
+            if col[t as usize] == col[u as usize] {
+                agree.insert(a as AttrId);
+            }
+        }
+        agree
+    }
+
+    /// True if the FD `lhs → rhs` holds on the full instance (Definition 1),
+    /// verified with a single hash pass over all tuples.
+    pub fn fd_holds(&self, lhs: &AttrSet, rhs: AttrId) -> bool {
+        let rhs_col = self.column(rhs);
+        if lhs.is_empty() {
+            // ∅ → A holds iff column A is constant.
+            return rhs_col.windows(2).all(|w| w[0] == w[1]);
+        }
+        let lhs_attrs: Vec<AttrId> = lhs.iter().collect();
+        let mut seen: FastHashMap<Vec<u32>, u32> = FastHashMap::default();
+        seen.reserve(self.n_rows);
+        let mut key = Vec::with_capacity(lhs_attrs.len());
+        for (t, &rhs_val) in rhs_col.iter().enumerate() {
+            key.clear();
+            key.extend(lhs_attrs.iter().map(|&a| self.columns[a as usize][t]));
+            match seen.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != rhs_val {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(rhs_val);
+                }
+            }
+        }
+        true
+    }
+
+    /// Restricts the relation to its first `n` rows (used by the row
+    /// scalability sweeps, Figures 6–7).
+    pub fn head(&self, n: usize) -> Relation {
+        let n = n.min(self.n_rows);
+        let columns = self.columns.iter().map(|c| c[..n].to_vec()).collect();
+        let mut r = Relation::from_encoded_columns(
+            format!("{}[rows={n}]", self.name),
+            self.column_names.clone(),
+            columns,
+        );
+        r.reencode();
+        r
+    }
+
+    /// Restricts the relation to its first `k` columns (used by the column
+    /// scalability sweeps, Figures 8–9).
+    pub fn project_prefix(&self, k: usize) -> Relation {
+        let k = k.min(self.n_attrs());
+        Relation::from_encoded_columns(
+            format!("{}[cols={k}]", self.name),
+            self.column_names[..k].to_vec(),
+            self.columns[..k].to_vec(),
+        )
+    }
+
+    /// Re-encodes every column to dense labels (dropping labels that no
+    /// longer occur after a row restriction).
+    fn reencode(&mut self) {
+        for (col, distinct) in self.columns.iter_mut().zip(self.distinct.iter_mut()) {
+            let mut remap: FastHashMap<u32, u32> = FastHashMap::default();
+            for v in col.iter_mut() {
+                let next = remap.len() as u32;
+                let label = *remap.entry(*v).or_insert(next);
+                *v = label;
+            }
+            *distinct = remap.len() as u32;
+        }
+    }
+}
+
+/// How missing values are labeled by [`RelationBuilder::push_nullable_row`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NullLabeling {
+    /// All nulls of a column share one label (`null = null`).
+    #[default]
+    Shared,
+    /// Every null gets a fresh label (`null ≠ null`), so no pair of tuples
+    /// ever agrees on a missing value.
+    Distinct,
+}
+
+/// Incrementally dictionary-encodes raw string rows into a [`Relation`].
+#[derive(Debug)]
+pub struct RelationBuilder {
+    name: String,
+    column_names: Vec<String>,
+    dictionaries: Vec<FastHashMap<String, u32>>,
+    columns: Vec<Vec<u32>>,
+    /// The shared-null label of each column, allocated on first use.
+    /// Distinct-null labels are allocated past the dictionary range and
+    /// tracked via `next_label`.
+    shared_null: Vec<Option<u32>>,
+    next_label: Vec<u32>,
+}
+
+impl RelationBuilder {
+    /// Starts a relation with the given column names.
+    pub fn new(name: impl Into<String>, column_names: Vec<String>) -> Self {
+        let n = column_names.len();
+        assert!(n <= MAX_ATTRS, "schema exceeds {MAX_ATTRS} attributes");
+        RelationBuilder {
+            name: name.into(),
+            column_names,
+            dictionaries: (0..n).map(|_| FastHashMap::default()).collect(),
+            columns: (0..n).map(|_| Vec::new()).collect(),
+            shared_null: vec![None; n],
+            next_label: vec![0; n],
+        }
+    }
+
+    fn encode(&mut self, a: usize, value: &str) -> u32 {
+        let next = self.next_label[a];
+        let label = *self.dictionaries[a].entry(value.to_owned()).or_insert(next);
+        if label == next {
+            self.next_label[a] += 1;
+        }
+        label
+    }
+
+    /// Appends one row of raw values.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the schema width.
+    pub fn push_row<S: AsRef<str>>(&mut self, row: &[S]) {
+        assert_eq!(row.len(), self.column_names.len(), "row width mismatch");
+        for (a, value) in row.iter().enumerate() {
+            let label = self.encode(a, value.as_ref());
+            self.columns[a].push(label);
+        }
+    }
+
+    /// Appends one row where `None` marks a missing value, labeled per
+    /// `labeling`.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the schema width.
+    pub fn push_nullable_row(&mut self, row: &[Option<&str>], labeling: NullLabeling) {
+        assert_eq!(row.len(), self.column_names.len(), "row width mismatch");
+        for (a, value) in row.iter().enumerate() {
+            let label = match value {
+                Some(v) => self.encode(a, v),
+                None => match labeling {
+                    NullLabeling::Shared => match self.shared_null[a] {
+                        Some(l) => l,
+                        None => {
+                            let l = self.next_label[a];
+                            self.next_label[a] += 1;
+                            self.shared_null[a] = Some(l);
+                            l
+                        }
+                    },
+                    NullLabeling::Distinct => {
+                        let l = self.next_label[a];
+                        self.next_label[a] += 1;
+                        l
+                    }
+                },
+            };
+            self.columns[a].push(label);
+        }
+    }
+
+    /// Number of rows appended so far.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Finishes encoding.
+    pub fn finish(self) -> Relation {
+        Relation::from_encoded_columns(self.name, self.column_names, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::patient;
+
+    #[test]
+    fn builder_assigns_dense_labels_per_column() {
+        let mut b = RelationBuilder::new("t", vec!["x".into(), "y".into()]);
+        b.push_row(&["a", "p"]);
+        b.push_row(&["b", "p"]);
+        b.push_row(&["a", "q"]);
+        let r = b.finish();
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.column(0), &[0, 1, 0]);
+        assert_eq!(r.column(1), &[0, 0, 1]);
+        assert_eq!(r.n_distinct(0), 2);
+        assert_eq!(r.n_distinct(1), 2);
+    }
+
+    #[test]
+    fn patient_encoding_matches_table_2() {
+        // Table II of the paper: the patient data after preprocessing.
+        let r = patient();
+        assert_eq!(r.n_rows(), 9);
+        assert_eq!(r.n_attrs(), 5);
+        // Age column (attribute 1): 1,2,3,4,2,4,2,5,6 → zero-based labels.
+        assert_eq!(r.column(1), &[0, 1, 2, 3, 1, 3, 1, 4, 5]);
+        // Gender column (attribute 3): 1,2,1,1,1,1,1,2,3 → zero-based.
+        assert_eq!(r.column(3), &[0, 1, 0, 0, 0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn agree_sets_follow_example_1() {
+        let r = patient();
+        // t2 and t8 agree exactly on Gender (G ↛ M comes from them).
+        let agree = r.agree_set(1, 7);
+        assert_eq!(agree, AttrSet::single(3));
+        // t2 and t7 agree on Age and Medicine (AB → M example pair).
+        let agree = r.agree_set(1, 6);
+        assert_eq!(agree, AttrSet::from_attrs([1u16, 2, 4]));
+    }
+
+    #[test]
+    fn fd_holds_verifies_example_1() {
+        let r = patient();
+        // AB → M holds (Example 1). Attribute ids: N=0,A=1,B=2,G=3,M=4.
+        assert!(r.fd_holds(&AttrSet::from_attrs([1u16, 2]), 4));
+        // N → B holds vacuously (Name is a key).
+        assert!(r.fd_holds(&AttrSet::single(0), 2));
+        // G ↛ M (t2 vs t8).
+        assert!(!r.fd_holds(&AttrSet::single(3), 4));
+        // ∅ → A only for constant columns; none here.
+        assert!(!r.fd_holds(&AttrSet::empty(), 3));
+    }
+
+    #[test]
+    fn head_restricts_and_reencodes() {
+        let r = patient();
+        let h = r.head(3);
+        assert_eq!(h.n_rows(), 3);
+        assert_eq!(h.n_attrs(), 5);
+        // After restriction Gender has two distinct values (F, M).
+        assert_eq!(h.n_distinct(3), 2);
+        // Oversized head is the identity on rows.
+        assert_eq!(r.head(100).n_rows(), 9);
+    }
+
+    #[test]
+    fn project_prefix_keeps_leading_columns() {
+        let r = patient();
+        let p = r.project_prefix(2);
+        assert_eq!(p.n_attrs(), 2);
+        assert_eq!(p.column_names(), &["Name".to_string(), "Age".to_string()]);
+        assert_eq!(p.column(1), r.column(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_columns_are_rejected() {
+        let _ = Relation::from_encoded_columns(
+            "bad",
+            vec!["a".into(), "b".into()],
+            vec![vec![0, 1], vec![0]],
+        );
+    }
+
+    #[test]
+    fn constant_column_fd_holds_from_empty_lhs() {
+        let r = Relation::from_encoded_columns(
+            "c",
+            vec!["k".into(), "c".into()],
+            vec![vec![0, 1, 2], vec![0, 0, 0]],
+        );
+        assert!(r.fd_holds(&AttrSet::empty(), 1));
+        assert!(!r.fd_holds(&AttrSet::empty(), 0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the data substrate: partition algebra, CSV
+//! round-trips, relation invariants, and agree-set consistency.
+
+use fd_core::{AttrId, AttrSet};
+use fd_relation::{read_csv, sampling_clusters, write_csv, CsvOptions, Partition, Relation};
+use proptest::prelude::*;
+
+/// Random dense-labeled relations (up to 5 columns × 40 rows).
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    (1usize..=5, 1usize..=40).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..5, rows..=rows),
+            cols..=cols,
+        )
+        .prop_map(move |columns| {
+            let columns = columns
+                .into_iter()
+                .map(|col| {
+                    let mut map = std::collections::HashMap::new();
+                    col.into_iter()
+                        .map(|v| {
+                            let next = map.len() as u32;
+                            *map.entry(v).or_insert(next)
+                        })
+                        .collect::<Vec<u32>>()
+                })
+                .collect::<Vec<_>>();
+            let names = (0..columns.len()).map(|i| format!("c{i}")).collect();
+            Relation::from_encoded_columns("prop", names, columns)
+        })
+    })
+}
+
+/// Oracle partition: group rows by label directly.
+fn oracle_partition(r: &Relation, a: AttrId) -> Vec<Vec<u32>> {
+    let mut groups: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    for t in 0..r.n_rows() as u32 {
+        groups.entry(r.label(t, a)).or_default().push(t);
+    }
+    let mut clusters: Vec<Vec<u32>> = groups.into_values().collect();
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+proptest! {
+    /// Partitions group exactly the rows with equal labels.
+    #[test]
+    fn partition_matches_direct_grouping(r in relation_strategy()) {
+        for a in 0..r.n_attrs() as AttrId {
+            let p = Partition::of_column(&r, a);
+            prop_assert_eq!(p.clusters(), &oracle_partition(&r, a)[..]);
+            let stripped = p.stripped();
+            prop_assert!(stripped.clusters().iter().all(|c| c.len() > 1));
+        }
+    }
+
+    /// `Π_X · Π_Y = Π_{X∪Y}`: the product groups rows agreeing on both
+    /// attributes, and it is commutative and idempotent.
+    #[test]
+    fn partition_product_laws(r in relation_strategy()) {
+        if r.n_attrs() < 2 {
+            return Ok(());
+        }
+        let pa = Partition::of_column(&r, 0).stripped();
+        let pb = Partition::of_column(&r, 1).stripped();
+        let ab = pa.product(&pb);
+        let ba = pb.product(&pa);
+        prop_assert_eq!(ab.clusters(), ba.clusters());
+        // Idempotence: Π·Π = Π for stripped partitions.
+        let aa = pa.product(&pa);
+        prop_assert_eq!(aa.clusters(), pa.clusters());
+        // Oracle: group by the label pair.
+        let mut groups: std::collections::BTreeMap<(u32, u32), Vec<u32>> = Default::default();
+        for t in 0..r.n_rows() as u32 {
+            groups.entry((r.label(t, 0), r.label(t, 1))).or_default().push(t);
+        }
+        let mut expect: Vec<Vec<u32>> = groups.into_values().filter(|c| c.len() > 1).collect();
+        expect.sort_by_key(|c| c[0]);
+        prop_assert_eq!(ab.clusters(), &expect[..]);
+    }
+
+    /// The refinement test decides FDs exactly like the hash verifier.
+    #[test]
+    fn refinement_agrees_with_fd_holds(r in relation_strategy()) {
+        if r.n_attrs() < 2 {
+            return Ok(());
+        }
+        for lhs_attr in 0..r.n_attrs() as AttrId {
+            for rhs in 0..r.n_attrs() as AttrId {
+                if lhs_attr == rhs {
+                    continue;
+                }
+                let p = Partition::of_column(&r, lhs_attr).stripped();
+                let target = Partition::of_column(&r, rhs);
+                prop_assert_eq!(
+                    p.refines(&target),
+                    r.fd_holds(&AttrSet::single(lhs_attr), rhs),
+                    "attr {} -> {}", lhs_attr, rhs
+                );
+            }
+        }
+    }
+
+    /// Agree sets are symmetric, reflexive on identical rows, and consistent
+    /// with per-column labels.
+    #[test]
+    fn agree_sets_are_consistent(r in relation_strategy()) {
+        let n = r.n_rows() as u32;
+        if n < 2 {
+            return Ok(());
+        }
+        for t in 0..n.min(8) {
+            for u in 0..n.min(8) {
+                let a = r.agree_set(t, u);
+                prop_assert_eq!(a, r.agree_set(u, t));
+                for attr in 0..r.n_attrs() as AttrId {
+                    prop_assert_eq!(
+                        a.contains(attr),
+                        r.label(t, attr) == r.label(u, attr)
+                    );
+                }
+                if t == u {
+                    prop_assert_eq!(a.len(), r.n_attrs());
+                }
+            }
+        }
+    }
+
+    /// Sampling clusters cover exactly the rows appearing in some non-
+    /// singleton equivalence class, with no duplicate cluster content.
+    #[test]
+    fn sampling_clusters_are_deduped_and_valid(r in relation_strategy()) {
+        let clusters = sampling_clusters(&r);
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            prop_assert!(c.len() > 1);
+            prop_assert!(seen.insert(c.clone()), "duplicate cluster {c:?}");
+            // Every cluster is an equivalence class of some attribute.
+            let found = (0..r.n_attrs() as AttrId).any(|a| {
+                let label = r.label(c[0], a);
+                c.iter().all(|&t| r.label(t, a) == label)
+                    && (0..r.n_rows() as u32)
+                        .filter(|&t| r.label(t, a) == label)
+                        .count() == c.len()
+            });
+            prop_assert!(found, "cluster {c:?} is no attribute's class");
+        }
+    }
+
+    /// head(n) keeps the first n rows and re-densifies labels.
+    #[test]
+    fn head_preserves_prefix_equality_structure(r in relation_strategy(), n in 1usize..=40) {
+        let h = r.head(n);
+        let n = n.min(r.n_rows());
+        prop_assert_eq!(h.n_rows(), n);
+        for a in 0..r.n_attrs() as AttrId {
+            // Labels may be renumbered but equality of cells is preserved.
+            for t in 0..n as u32 {
+                for u in 0..n as u32 {
+                    prop_assert_eq!(
+                        h.label(t, a) == h.label(u, a),
+                        r.label(t, a) == r.label(u, a)
+                    );
+                }
+            }
+            // Dense labels: max label + 1 == distinct count.
+            let max = (0..n as u32).map(|t| h.label(t, a)).max().unwrap_or(0);
+            prop_assert_eq!(h.n_distinct(a), (max + 1) as usize);
+        }
+    }
+
+    /// CSV round-trips arbitrary field content, including separators,
+    /// quotes, and newlines.
+    #[test]
+    fn csv_roundtrip_arbitrary_fields(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[ -~\n]{0,12}", 3..=3),
+            1..10,
+        ),
+    ) {
+        let header = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &header, rows.clone().into_iter(), b',').unwrap();
+        let relation = read_csv(&buf[..], "rt", &CsvOptions::default()).unwrap();
+        prop_assert_eq!(relation.n_rows(), rows.len());
+        prop_assert_eq!(relation.n_attrs(), 3);
+        // Equality structure must match the original strings exactly.
+        for a in 0..3u16 {
+            for t in 0..rows.len() {
+                for u in 0..rows.len() {
+                    prop_assert_eq!(
+                        relation.label(t as u32, a) == relation.label(u as u32, a),
+                        rows[t][a as usize] == rows[u][a as usize],
+                        "col {} rows {} vs {}", a, t, u
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! `fdtool` — command-line front end for the EulerFD suite.
+//!
+//! ```text
+//! fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep ;] [--no-header]
+//! fdtool keys     <file.csv> [--sep ;] [--no-header]
+//! fdtool profile  <file.csv>            # column statistics
+//! fdtool compare  <file.csv>            # all algorithms side by side
+//! fdtool generate <dataset> <rows> <out.csv>   # materialize a benchmark dataset
+//! fdtool datasets                       # list generatable datasets
+//! ```
+//!
+//! This is the "DMS-shaped" entry point: point it at a CSV and get the
+//! dependency structure, candidate keys, or a cross-algorithm comparison.
+
+use eulerfd::EulerFd;
+use eulerfd_suite::baselines::{AidFd, FastFds, Fdep, HyFd, Tane};
+use eulerfd_suite::core::{bcnf_violations, candidate_keys, Accuracy, FdSet};
+use eulerfd_suite::relation::synth::{dataset_names, dataset_spec};
+use eulerfd_suite::relation::{
+    read_csv_file, write_csv, CsvOptions, FdAlgorithm, Relation,
+};
+use std::io::Write;
+use std::process::exit;
+use std::time::Instant;
+
+/// Writes bulk output, exiting quietly when the consumer (e.g. `head`)
+/// closes the pipe instead of panicking on `println!`.
+fn emit_lines<I: IntoIterator<Item = String>>(lines: I) {
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for line in lines {
+        if writeln!(out, "{line}").is_err() {
+            exit(0);
+        }
+    }
+    if out.flush().is_err() {
+        exit(0);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(|s| s.as_str()) {
+        Some("discover") => discover(&args[1..]),
+        Some("keys") => keys(&args[1..]),
+        Some("profile") => profile_cmd(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        Some("generate") => generate(&args[1..]),
+        Some("datasets") => {
+            emit_lines(dataset_names().into_iter().map(|name| {
+                let spec = dataset_spec(name).expect("registered");
+                format!(
+                    "{name:<16} {} cols, paper {} rows, default {} rows",
+                    spec.paper_cols, spec.paper_rows, spec.default_rows
+                )
+            }));
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header]\n  fdtool keys <file.csv> [--sep C] [--no-header]\n  fdtool profile <file.csv> [--sep C] [--no-header]\n  fdtool compare <file.csv> [--sep C] [--no-header]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets"
+    );
+    exit(2);
+}
+
+struct FileArgs {
+    path: String,
+    options: CsvOptions,
+    algo: String,
+}
+
+fn parse_file_args(args: &[String]) -> FileArgs {
+    let mut path = None;
+    let mut options = CsvOptions::default();
+    let mut algo = "euler".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sep" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                options.separator = *v.as_bytes().first().unwrap_or(&b',');
+            }
+            "--no-header" => options.has_header = false,
+            "--algo" => algo = it.next().unwrap_or_else(|| usage()).clone(),
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    FileArgs { path: path.unwrap_or_else(|| usage()), options, algo }
+}
+
+fn load(path: &str, options: &CsvOptions) -> Relation {
+    match read_csv_file(path, options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn run_algo(name: &str, relation: &Relation) -> FdSet {
+    match name {
+        "euler" => EulerFd::new().discover(relation),
+        "aid" => AidFd::default().discover(relation),
+        "hyfd" => HyFd::default().discover(relation),
+        "tane" => Tane::new().discover(relation),
+        "fdep" => Fdep::new().discover(relation),
+        "fastfds" => FastFds::new().discover(relation),
+        other => {
+            eprintln!("unknown algorithm {other}");
+            exit(2);
+        }
+    }
+}
+
+fn discover(args: &[String]) {
+    let fa = parse_file_args(args);
+    let relation = load(&fa.path, &fa.options);
+    eprintln!(
+        "{}: {} rows x {} attributes, algorithm {}",
+        relation.name(),
+        relation.n_rows(),
+        relation.n_attrs(),
+        fa.algo
+    );
+    let start = Instant::now();
+    let fds = run_algo(&fa.algo, &relation);
+    eprintln!("{} FDs in {:.3}s", fds.len(), start.elapsed().as_secs_f64());
+    emit_lines(fds.iter().map(|fd| fd.display(relation.column_names()).to_string()));
+}
+
+fn profile_cmd(args: &[String]) {
+    let fa = parse_file_args(args);
+    let relation = load(&fa.path, &fa.options);
+    print!("{}", eulerfd_suite::relation::profile(&relation).render());
+}
+
+fn keys(args: &[String]) {
+    let fa = parse_file_args(args);
+    let relation = load(&fa.path, &fa.options);
+    let fds = run_algo(&fa.algo, &relation);
+    let keys = candidate_keys(relation.n_attrs(), &fds);
+    println!("candidate keys:");
+    for key in &keys {
+        println!("  {}", key.display(relation.column_names()));
+    }
+    let violations = bcnf_violations(relation.n_attrs(), &fds);
+    if violations.is_empty() {
+        println!("schema is in BCNF under the discovered FDs");
+    } else {
+        println!("BCNF violations:");
+        for fd in &violations {
+            println!("  {}", fd.display(relation.column_names()));
+        }
+    }
+}
+
+fn compare(args: &[String]) {
+    let fa = parse_file_args(args);
+    let relation = load(&fa.path, &fa.options);
+    println!(
+        "{}: {} rows x {} attributes",
+        relation.name(),
+        relation.n_rows(),
+        relation.n_attrs()
+    );
+    // HyFD is exact and usually feasible on CLI-sized inputs: use it as the
+    // accuracy reference.
+    let truth = HyFd::default().discover(&relation);
+    println!("{:<8} {:>10} {:>8} {:>7}", "algo", "time[ms]", "FDs", "F1");
+    for name in ["tane", "fdep", "fastfds", "hyfd", "aid", "euler"] {
+        let start = Instant::now();
+        let fds = run_algo(name, &relation);
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let f1 = Accuracy::of(&fds, &truth).f1;
+        println!("{name:<8} {ms:>10.2} {:>8} {f1:>7.3}", fds.len());
+    }
+}
+
+fn generate(args: &[String]) {
+    let (name, rows, out) = match args {
+        [name, rows, out] => (name, rows, out),
+        _ => usage(),
+    };
+    let spec = dataset_spec(name).unwrap_or_else(|| {
+        eprintln!("unknown dataset {name}; run `fdtool datasets` for the list");
+        exit(2);
+    });
+    let rows: usize = rows.parse().unwrap_or_else(|_| usage());
+    let relation = spec.generate(rows);
+    let header = relation.column_names().to_vec();
+    let row_iter = (0..relation.n_rows()).map(|t| {
+        (0..relation.n_attrs())
+            .map(|a| relation.label(t as u32, a as u16).to_string())
+            .collect::<Vec<String>>()
+    });
+    let file = std::fs::File::create(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        exit(1);
+    });
+    write_csv(file, &header, row_iter, b',').expect("write csv");
+    eprintln!("wrote {} rows x {} cols to {out}", relation.n_rows(), relation.n_attrs());
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the EulerFD reproduction.
+//!
+//! Re-exports the workspace crates under one roof so that examples and
+//! integration tests can `use eulerfd_suite::...`. See the individual crates
+//! for the real APIs:
+//!
+//! * [`core`] (`fd-core`) — attribute bitsets, FDs, covers, trees, metrics.
+//! * [`relation`] (`fd-relation`) — relations, CSV I/O, partitions, generators.
+//! * [`algo`] (`eulerfd`) — the EulerFD double-cycle algorithm itself.
+//! * [`baselines`] (`fd-baselines`) — brute force, Tane, Fdep, HyFD, AID-FD.
+
+pub use eulerfd as algo;
+pub use fd_baselines as baselines;
+pub use fd_core as core;
+pub use fd_relation as relation;

@@ -1,0 +1,126 @@
+//! Cross-algorithm integration tests: every exact algorithm must produce
+//! the identical minimal cover, and the approximate algorithms must stay
+//! close to it on data where sampling has full coverage.
+
+use eulerfd_suite::algo::{EulerFd, EulerFdConfig};
+use eulerfd_suite::baselines::{AidFd, Exhaustive, Fdep, HyFd, Tane};
+use eulerfd_suite::core::Accuracy;
+use eulerfd_suite::relation::synth::{self, ColumnKind, ColumnSpec, Generator};
+use eulerfd_suite::relation::{verify_fds, FdAlgorithm, Relation};
+
+/// Small generated relations with varied dependency structure.
+fn fixtures() -> Vec<Relation> {
+    let mut out = vec![synth::patient()];
+    for seed in [2u64, 13, 47] {
+        let g = Generator::new(
+            format!("fixture-{seed}"),
+            vec![
+                ColumnSpec::new("a", ColumnKind::Categorical { cardinality: 6, skew: 0.0 }),
+                ColumnSpec::new("b", ColumnKind::Categorical { cardinality: 4, skew: 0.5 }),
+                ColumnSpec::new(
+                    "c",
+                    ColumnKind::Derived { parents: vec![0], cardinality: 3, noise: 0.0 },
+                ),
+                ColumnSpec::new(
+                    "d",
+                    ColumnKind::Derived { parents: vec![0, 1], cardinality: 8, noise: 0.05 },
+                ),
+                ColumnSpec::new("e", ColumnKind::Constant),
+                ColumnSpec::new("f", ColumnKind::Key),
+            ],
+            seed,
+        );
+        out.push(g.generate(250));
+    }
+    out
+}
+
+#[test]
+fn exact_algorithms_agree_everywhere() {
+    for relation in fixtures() {
+        let truth = Exhaustive.discover(&relation);
+        assert!(
+            verify_fds(&relation, &truth).is_empty(),
+            "{}: oracle output failed verification",
+            relation.name()
+        );
+        for fds in [
+            Tane::new().discover(&relation),
+            Fdep::new().discover(&relation),
+            HyFd::default().discover(&relation),
+        ] {
+            assert_eq!(fds, truth, "exact disagreement on {}", relation.name());
+        }
+    }
+}
+
+#[test]
+fn zero_threshold_approximations_are_exact() {
+    // With thresholds forced to 0 both approximate algorithms drain the
+    // entire pair population and become exact.
+    for relation in fixtures() {
+        let truth = Exhaustive.discover(&relation);
+        assert_eq!(
+            AidFd::with_threshold(0.0).discover(&relation),
+            truth,
+            "AID-FD(0) on {}",
+            relation.name()
+        );
+        let euler = EulerFd::with_config(EulerFdConfig::with_thresholds(0.0, 0.0));
+        assert_eq!(euler.discover(&relation), truth, "EulerFD(0,0) on {}", relation.name());
+    }
+}
+
+#[test]
+fn default_approximations_score_high_f1() {
+    for relation in fixtures() {
+        let truth = Exhaustive.discover(&relation);
+        let aid = Accuracy::of(&AidFd::default().discover(&relation), &truth);
+        let euler = Accuracy::of(&EulerFd::new().discover(&relation), &truth);
+        assert!(aid.f1 >= 0.85, "AID-FD F1 {} on {}", aid.f1, relation.name());
+        assert!(euler.f1 >= 0.85, "EulerFD F1 {} on {}", euler.f1, relation.name());
+    }
+}
+
+#[test]
+fn every_algorithm_reports_a_structurally_minimal_cover() {
+    for relation in fixtures() {
+        for (name, fds) in [
+            ("Tane", Tane::new().discover(&relation)),
+            ("Fdep", Fdep::new().discover(&relation)),
+            ("HyFD", HyFd::default().discover(&relation)),
+            ("AID-FD", AidFd::default().discover(&relation)),
+            ("EulerFD", EulerFd::new().discover(&relation)),
+        ] {
+            assert!(
+                fds.is_minimal_cover(),
+                "{name} produced a non-minimal cover on {}",
+                relation.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_errors_are_one_sided_misses_of_rare_non_fds() {
+    // Approximate discovery can only err by missing non-FD evidence, so any
+    // wrong FD it reports must be a generalization of some true FD, never an
+    // unrelated fabrication, and any missed true FD must have a reported
+    // generalization... neither direction may invent an incomparable LHS.
+    for relation in fixtures() {
+        let truth = Exhaustive.discover(&relation);
+        let found = EulerFd::new().discover(&relation);
+        for fd in &found {
+            if !truth.contains(fd) {
+                let has_true_specialization =
+                    truth.iter().any(|t| t.rhs == fd.rhs && fd.lhs.is_subset_of(&t.lhs));
+                assert!(
+                    has_true_specialization,
+                    "{}: spurious FD {:?} is not a generalization of any true FD",
+                    relation.name(),
+                    fd
+                );
+            }
+        }
+    }
+}

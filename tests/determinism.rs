@@ -1,0 +1,56 @@
+//! Determinism guarantees: generators are pure functions of their seed, and
+//! every discovery algorithm is deterministic on a fixed relation — EulerFD
+//! by construction (regular window sampling, no RNG), which is what makes
+//! the paper's repeated-run averages meaningful.
+
+use eulerfd_suite::algo::{EulerFd, EulerFdConfig};
+use eulerfd_suite::baselines::{AidFd, HyFd};
+use eulerfd_suite::relation::synth::{self, FleetSpec};
+use eulerfd_suite::relation::FdAlgorithm;
+
+#[test]
+fn generators_are_seed_deterministic() {
+    for name in ["adult", "plista", "lineitem"] {
+        let spec = synth::dataset_spec(name).unwrap();
+        assert_eq!(spec.generate(500), spec.generate(500), "{name}");
+    }
+    let fleet_a = FleetSpec { per_cell: 1, max_rows: 300, max_cols: 20, seed: 5 }.generate();
+    let fleet_b = FleetSpec { per_cell: 1, max_rows: 300, max_cols: 20, seed: 5 }.generate();
+    for (a, b) in fleet_a.iter().zip(&fleet_b) {
+        assert_eq!(a.relation, b.relation);
+    }
+}
+
+#[test]
+fn discovery_is_run_to_run_deterministic() {
+    let relation = synth::dataset_spec("ncvoter").unwrap().generate(700);
+    let euler = EulerFd::new();
+    assert_eq!(euler.discover(&relation), euler.discover(&relation));
+    let aid = AidFd::default();
+    assert_eq!(aid.discover(&relation), aid.discover(&relation));
+    let hyfd = HyFd::default();
+    assert_eq!(hyfd.discover(&relation), hyfd.discover(&relation));
+}
+
+#[test]
+fn reports_are_deterministic_too() {
+    let relation = synth::dataset_spec("abalone").unwrap().generate(1000);
+    let euler = EulerFd::with_config(EulerFdConfig::default());
+    let (fds_a, rep_a) = euler.discover_with_report(&relation);
+    let (fds_b, rep_b) = euler.discover_with_report(&relation);
+    assert_eq!(fds_a, fds_b);
+    assert_eq!(rep_a.sampler.pairs_compared, rep_b.sampler.pairs_compared);
+    assert_eq!(rep_a.inversions, rep_b.inversions);
+    assert_eq!(rep_a.gr_ncover, rep_b.gr_ncover);
+    assert_eq!(rep_a.gr_pcover, rep_b.gr_pcover);
+}
+
+#[test]
+fn row_and_column_restrictions_are_stable() {
+    let spec = synth::dataset_spec("plista").unwrap();
+    let full = spec.generate(800);
+    let a = full.head(300).project_prefix(20);
+    let b = full.head(300).project_prefix(20);
+    assert_eq!(a, b);
+    assert_eq!(EulerFd::new().discover(&a), EulerFd::new().discover(&b));
+}
