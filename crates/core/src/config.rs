@@ -27,6 +27,12 @@ pub struct EulerFdConfig {
     /// the second cycle with nothing to resume and collapses EulerFD into a
     /// single-shot sampler like AID-FD.
     pub enable_revival: bool,
+    /// Worker threads for the data-parallel kernels (pair comparison,
+    /// partition construction, cover inversion). `0` means one per available
+    /// core. The discovered FD set is byte-identical for every value — the
+    /// parallel paths fold results in plan order, never completion order —
+    /// so this knob trades wall-clock time only.
+    pub threads: usize,
 }
 
 impl Default for EulerFdConfig {
@@ -39,6 +45,7 @@ impl Default for EulerFdConfig {
             batch_factor: f64::INFINITY,
             min_batch: 64,
             enable_revival: true,
+            threads: 1,
         }
     }
 }
@@ -53,6 +60,22 @@ impl EulerFdConfig {
     pub fn with_queues(n_queues: usize) -> Self {
         assert!(n_queues >= 1, "MLFQ needs at least one queue");
         EulerFdConfig { n_queues, ..Default::default() }
+    }
+
+    /// Sets the kernel thread count (builder style); `0` = auto.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective kernel thread count: `threads`, or the machine's
+    /// available parallelism when the knob is 0.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
     }
 
     /// The capa lower bounds of this config's queues, highest priority

@@ -134,11 +134,7 @@ impl EulerFd {
             // sort) prunes each candidate once instead of re-specializing it
             // repeatedly as more general evidence arrives.
             let before_p = pcover.len();
-            let mut delta = InvertDelta::default();
-            pending.sort_by_key(|fd| std::cmp::Reverse(fd.lhs.len()));
-            for non_fd in pending.drain(..) {
-                delta += pcover.invert(non_fd);
-            }
+            let delta = pcover.invert_batch(&mut pending, self.config.resolved_threads());
             report.inversions += 1;
             report.invert_delta += delta;
             let gr_p = delta.added as f64 / before_p.max(1) as f64;

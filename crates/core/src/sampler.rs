@@ -15,7 +15,7 @@
 use crate::config::EulerFdConfig;
 use crate::mlfq::{ClusterId, Mlfq};
 use fd_core::{AttrSet, FastHashSet, Fd, NCover};
-use fd_relation::{sampling_clusters, Relation, RowId};
+use fd_relation::{sampling_clusters_parallel, Relation, RowId, RowMajor};
 use std::collections::VecDeque;
 
 /// Counters exposed in the discovery report.
@@ -23,8 +23,16 @@ use std::collections::VecDeque;
 pub struct SamplerStats {
     /// Total tuple pairs compared.
     pub pairs_compared: u64,
+    /// Agree sets that survived the comparison kernel's novelty pre-filter
+    /// and reached the sequential cover fold. Diagnostic only: a set
+    /// straddling two worker chunks is counted once per chunk, so this may
+    /// grow slightly with the thread count (the fold collapses duplicates,
+    /// keeping the covers themselves thread-invariant).
+    pub fold_candidates: u64,
     /// `sample()` invocations.
     pub samples: u64,
+    /// Largest number of kernel worker threads any single sample used.
+    pub peak_workers: usize,
     /// Clusters in the initial population.
     pub clusters_total: usize,
     /// Cluster retirement events under the zero-capa rule (a revived cluster
@@ -48,6 +56,14 @@ struct ClusterState {
 }
 
 /// The sampling module: cluster population + MLFQ + agree-set dedup.
+///
+/// Each sample is executed in three steps: **plan** (drain the cluster's
+/// current window positions into a pair batch — sequential, driven by the
+/// MLFQ), **compare** (the data-parallel [`RowMajor`] kernel computes agree
+/// sets and pre-filters already-seen ones), and **fold** (candidates enter
+/// the negative cover sequentially, in plan order). Only the pure compare
+/// step is threaded, so the discovered covers are byte-identical for every
+/// thread count.
 pub struct Sampler {
     clusters: Vec<ClusterState>,
     mlfq: Mlfq,
@@ -55,6 +71,12 @@ pub struct Sampler {
     /// cycle 2 revives these when the positive cover is still unstable.
     retired: Vec<ClusterId>,
     seen_agree: FastHashSet<AttrSet>,
+    /// Row-major mirror of the relation: the compare step's layout.
+    row_major: RowMajor,
+    /// Kernel worker threads (resolved; ≥ 1).
+    threads: usize,
+    /// Reused pair batch of the plan step.
+    pair_buf: Vec<(RowId, RowId)>,
     recent_window: usize,
     stats: SamplerStats,
 }
@@ -63,7 +85,8 @@ impl Sampler {
     /// Builds the cluster population from the relation's stripped
     /// partitions; the MLFQ starts empty until [`Sampler::initial_pass`].
     pub fn new(relation: &Relation, config: &EulerFdConfig) -> Self {
-        let clusters: Vec<ClusterState> = sampling_clusters(relation)
+        let threads = config.resolved_threads();
+        let clusters: Vec<ClusterState> = sampling_clusters_parallel(relation, threads)
             .into_iter()
             .map(|rows| ClusterState { rows, window: 2, recent: VecDeque::new() })
             .collect();
@@ -73,6 +96,9 @@ impl Sampler {
             mlfq: Mlfq::new(config.queue_bounds()),
             retired: Vec::new(),
             seen_agree: FastHashSet::default(),
+            row_major: relation.row_major(),
+            threads,
+            pair_buf: Vec::new(),
             recent_window: config.recent_window.max(1),
             stats,
         }
@@ -103,11 +129,11 @@ impl Sampler {
         }
     }
 
-    /// Algorithm 1 lines 13–21 (`sample(cluster)`).
+    /// Algorithm 1 lines 13–21 (`sample(cluster)`), as plan → compare → fold.
     fn sample_cluster(
         &mut self,
         id: ClusterId,
-        relation: &Relation,
+        _relation: &Relation,
         ncover: &mut NCover,
         pending: &mut Vec<Fd>,
     ) {
@@ -118,17 +144,31 @@ impl Sampler {
             self.stats.clusters_exhausted += 1;
             return; // no pair left at any position; cluster is spent
         }
-        let mut new_non_fds = 0usize;
         let pairs = len - window + 1;
-        for i in 0..pairs {
-            let t = state.rows[i];
-            let u = state.rows[i + window - 1];
-            let agree = relation.agree_set(t, u);
+
+        // Plan: enumerate this sample's window positions as a pair batch.
+        self.pair_buf.clear();
+        self.pair_buf
+            .extend((0..pairs).map(|i| (state.rows[i], state.rows[i + window - 1])));
+
+        // Compare: the data-parallel kernel computes agree sets and filters
+        // out sets already in `seen_agree` (a read-only snapshot here —
+        // workers never mutate shared state).
+        let (candidates, batch) =
+            self.row_major.novel_agree_sets(&self.pair_buf, &self.seen_agree, self.threads);
+
+        // Fold: sequential, in plan order. Re-checking `seen_agree.insert`
+        // keeps the cover semantics exact even when a set reached the
+        // candidate list once per worker chunk.
+        let mut new_non_fds = 0usize;
+        for agree in candidates {
             if self.seen_agree.insert(agree) {
                 new_non_fds += ncover.add_agree_set_collect(agree, pending);
             }
         }
-        self.stats.pairs_compared += pairs as u64;
+        self.stats.pairs_compared += batch.pairs_compared;
+        self.stats.fold_candidates += batch.candidates;
+        self.stats.peak_workers = self.stats.peak_workers.max(batch.workers);
         self.stats.samples += 1;
 
         let capa = new_non_fds as f64 / pairs as f64;

@@ -112,6 +112,23 @@ proptest! {
         prop_assert!(rep_tight.sampler.pairs_compared >= rep_loose.sampler.pairs_compared);
     }
 
+    /// The kernel thread count is pure wall-clock: threads ∈ {1, 2, 4} give
+    /// an identical FD set and identical growth-rate histories, because the
+    /// parallel compare/invert paths fold their results in plan order.
+    #[test]
+    fn thread_count_never_changes_the_answer(relation in relation_strategy()) {
+        let base = EulerFd::with_config(EulerFdConfig::default().with_threads(1));
+        let (fds_1, rep_1) = base.discover_with_report(&relation);
+        for threads in [2usize, 4] {
+            let algo = EulerFd::with_config(EulerFdConfig::default().with_threads(threads));
+            let (fds_t, rep_t) = algo.discover_with_report(&relation);
+            prop_assert_eq!(&fds_1, &fds_t, "threads={}", threads);
+            prop_assert_eq!(&rep_1.gr_ncover, &rep_t.gr_ncover, "threads={}", threads);
+            prop_assert_eq!(&rep_1.gr_pcover, &rep_t.gr_pcover, "threads={}", threads);
+            prop_assert_eq!(rep_1.sampler.pairs_compared, rep_t.sampler.pairs_compared);
+        }
+    }
+
     /// The report's counters are internally consistent.
     #[test]
     fn report_invariants(relation in relation_strategy()) {

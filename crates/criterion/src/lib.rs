@@ -1,0 +1,208 @@
+//! A registry-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this in-repo crate
+//! implements the benchmark-harness subset the workspace's `[[bench]]`
+//! targets use: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Measurement is a deliberately simple wall-clock protocol — warm up once,
+//! time `sample_size` executions, report min/median/mean — with one line of
+//! output per benchmark. There is no statistical analysis, HTML report, or
+//! plotting; the numbers are for quick regression eyeballing, while the
+//! serious measurements live in the `fd-bench` binaries.
+//!
+//! When invoked by `cargo test` (cargo passes `--test` to harness-less bench
+//! targets), every benchmark body runs exactly once so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{function}/{parameter}"`, mirroring upstream formatting.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Anything accepted where a benchmark name is expected.
+pub trait IntoBenchmarkName {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Runs the timed closure of one benchmark.
+pub struct Bencher {
+    /// Number of timed executions.
+    samples: usize,
+    /// Collected per-execution times.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed executions per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the target measurement time. Accepted for API
+    /// compatibility; the simple protocol ignores it.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benches a nullary routine.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_name(), |b| f(b));
+        self
+    }
+
+    /// Benches a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_name(), |b| f(b, input));
+        self
+    }
+
+    fn run(&self, name: String, f: impl FnOnce(&mut Bencher)) {
+        let samples = if self.criterion.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher { samples, times: Vec::with_capacity(samples) };
+        f(&mut bencher);
+        let mut times = bencher.times;
+        if times.is_empty() {
+            return;
+        }
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let median = times[times.len() / 2];
+        println!(
+            "bench {group}/{name}: median {median:?}  mean {mean:?}  min {min:?}  ({n} samples)",
+            group = self.name,
+            min = times[0],
+            n = times.len(),
+        );
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo runs harness-less bench targets with `--test` during
+        // `cargo test`; criterion proper runs each body once in that mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Benches a nullary routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_name();
+        self.benchmark_group("crit").bench_function(name, &mut f);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -8,7 +8,7 @@
 //! behaviour Table III shows (`ML` on *plista*, *flight*, *uniprot*).
 
 use fd_core::{AttrId, AttrSet, Fd, FdSet};
-use fd_relation::{FdAlgorithm, Partition, Relation};
+use fd_relation::{FdAlgorithm, Partition, ProductScratch, Relation};
 use std::collections::HashMap;
 
 /// Per-candidate state carried between levels.
@@ -84,6 +84,7 @@ impl Tane {
         let n = relation.n_rows();
         let mut fds = FdSet::new();
         let mut cplus = CPlusMap::new(m);
+        let mut scratch = ProductScratch::default();
 
         // Level 0: Π_∅ is one cluster of all rows; its error numerator is n−1.
         let mut prev_errors: HashMap<AttrSet, usize> = HashMap::new();
@@ -193,7 +194,8 @@ impl Tane {
                     if x.iter().any(|a| !current.contains_key(&x.without(a))) {
                         continue;
                     }
-                    let partition = current[&y1].partition.product(&current[&y2].partition);
+                    let partition =
+                        current[&y1].partition.product_with(&current[&y2].partition, &mut scratch);
                     let error_num = partition.covered_rows() - partition.n_clusters();
                     next.insert(x, Node { partition, error_num });
                 }

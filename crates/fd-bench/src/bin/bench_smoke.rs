@@ -1,0 +1,223 @@
+//! Smoke benchmark of the data-parallel sampling pipeline (not CI-blocking).
+//!
+//! Runs a downsized rows-scaling sweep on a synthetic dataset twice — once
+//! with 1 kernel thread and once with N — and writes `BENCH_PR1.json`
+//! recording wall-clock, pairs/sec, and the per-point speedup, while also
+//! asserting that both runs discovered the identical FD set. Invoke via
+//! `scripts/bench_smoke.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p fd-bench --bin bench_smoke -- \
+//!     [--dataset lineitem] [--rows 120000] [--threads 4] \
+//!     [--repeat 2] [--out BENCH_PR1.json]
+//! ```
+
+use eulerfd::{EulerFd, EulerFdConfig};
+use fd_core::FdSet;
+use fd_relation::{synth, Relation};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Opts {
+    dataset: String,
+    rows: usize,
+    threads: usize,
+    repeat: usize,
+    out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            dataset: "lineitem".into(),
+            rows: 120_000,
+            threads: 4,
+            repeat: 2,
+            out: "BENCH_PR1.json".into(),
+        }
+    }
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--dataset" => opts.dataset = value("--dataset"),
+            "--rows" => opts.rows = parse_num(&value("--rows"), "--rows"),
+            "--threads" => opts.threads = parse_num(&value("--threads"), "--threads"),
+            "--repeat" => opts.repeat = parse_num(&value("--repeat"), "--repeat").max(1),
+            "--out" => opts.out = value("--out"),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.threads < 2 {
+        usage("--threads must be at least 2 (the sweep compares against 1)");
+    }
+    opts
+}
+
+fn parse_num(v: &str, name: &str) -> usize {
+    v.parse().unwrap_or_else(|_| usage(&format!("{name} needs a number")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: bench_smoke [--dataset <name>] [--rows <n>] [--threads <n>] \
+         [--repeat <n>] [--out <path>]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// One timed discovery; returns (best wall-clock over `repeat` runs, pairs
+/// compared, FDs). Pairs and FDs are identical across repeats (discovery is
+/// deterministic), so only the clock is minimized.
+fn run_discovery(relation: &Relation, threads: usize, repeat: usize) -> (f64, u64, FdSet) {
+    let algo = EulerFd::with_config(EulerFdConfig::default().with_threads(threads));
+    let mut best = f64::INFINITY;
+    let mut pairs = 0;
+    let mut fds = FdSet::new();
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let (f, report) = algo.discover_with_report(relation);
+        best = best.min(start.elapsed().as_secs_f64());
+        pairs = report.sampler.pairs_compared;
+        fds = f;
+    }
+    (best, pairs, fds)
+}
+
+/// Times the comparison kernel itself — the seed's column-major strided
+/// `Relation::agree_set` against the packed [`fd_relation::RowMajor`] linear
+/// scan — over consecutive-row pairs. This isolates the cache-layout win
+/// from thread scaling, so it is meaningful even on a single-core machine.
+fn kernel_layout_speedup(relation: &Relation) -> (f64, f64, f64) {
+    let n = relation.n_rows() as u64;
+    if n < 2 {
+        return (0.0, 0.0, 1.0);
+    }
+    // Scattered pairs, like window sampling inside large clusters (the
+    // sampler compares rows far apart, not neighbors): a fixed LCG walk.
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % n) as u32
+    };
+    let pairs: Vec<(u32, u32)> = (0..2_000_000).map(|_| (next(), next())).collect();
+    let rm = relation.row_major();
+    // Column-major (seed path).
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for &(t, u) in &pairs {
+        sink ^= relation.agree_set(t, u).len();
+    }
+    let col_secs = start.elapsed().as_secs_f64();
+    // Row-major packed scan.
+    let start = Instant::now();
+    for &(t, u) in &pairs {
+        sink ^= rm.agree_set(t, u).len();
+    }
+    let row_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    let pps_col = pairs.len() as f64 / col_secs;
+    let pps_row = pairs.len() as f64 / row_secs;
+    (pps_col, pps_row, col_secs / row_secs)
+}
+
+fn main() {
+    let opts = parse_opts();
+    let spec = synth::dataset_spec(&opts.dataset)
+        .unwrap_or_else(|| usage(&format!("unknown dataset: {}", opts.dataset)));
+    let full = spec.generate(opts.rows);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let points = [opts.rows / 4, opts.rows / 2, opts.rows];
+    let mut json_points = String::new();
+    let mut max_speedup: f64 = 0.0;
+    let mut all_identical = true;
+
+    println!(
+        "bench_smoke: {} up to {} rows, 1 vs {} threads (best of {}, {} core(s) available)",
+        opts.dataset, opts.rows, opts.threads, opts.repeat, cores
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>14} {:>9}",
+        "rows", "wall 1t [s]", "wall Nt [s]", "pairs/s 1t", "pairs/s Nt", "speedup"
+    );
+    for (i, &rows) in points.iter().enumerate() {
+        let relation = full.head(rows.max(1));
+        let (secs_1, pairs, fds_1) = run_discovery(&relation, 1, opts.repeat);
+        let (secs_n, pairs_n, fds_n) = run_discovery(&relation, opts.threads, opts.repeat);
+        assert_eq!(pairs, pairs_n, "pair schedule must be thread-invariant");
+        let identical = fds_1 == fds_n;
+        all_identical &= identical;
+        let speedup = secs_1 / secs_n;
+        max_speedup = max_speedup.max(speedup);
+        let pps_1 = pairs as f64 / secs_1;
+        let pps_n = pairs as f64 / secs_n;
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>14.0} {:>14.0} {:>8.2}x",
+            relation.n_rows(),
+            secs_1,
+            secs_n,
+            pps_1,
+            pps_n,
+            speedup
+        );
+        if i > 0 {
+            json_points.push_str(",\n");
+        }
+        write!(
+            json_points,
+            "    {{\"rows\": {}, \"pairs_compared\": {}, \"wall_s_1t\": {:.6}, \
+             \"wall_s_nt\": {:.6}, \"pairs_per_s_1t\": {:.1}, \"pairs_per_s_nt\": {:.1}, \
+             \"speedup\": {:.3}, \"identical_fds\": {}}}",
+            relation.n_rows(),
+            pairs,
+            secs_1,
+            secs_n,
+            pps_1,
+            pps_n,
+            speedup,
+            identical
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    let (pps_col, pps_row, layout_speedup) = kernel_layout_speedup(&full);
+    println!(
+        "kernel layout: column-major {:.0} pairs/s, row-major {:.0} pairs/s ({:.2}x)",
+        pps_col, pps_row, layout_speedup
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_smoke\",\n  \"dataset\": \"{}\",\n  \"threads\": {},\n  \
+         \"repeat\": {},\n  \"available_cores\": {},\n  \"points\": [\n{}\n  ],\n  \
+         \"max_thread_speedup\": {:.3},\n  \
+         \"kernel_pairs_per_s_column_major\": {:.1},\n  \
+         \"kernel_pairs_per_s_row_major\": {:.1},\n  \
+         \"kernel_layout_speedup\": {:.3},\n  \
+         \"all_identical_fds\": {}\n}}\n",
+        opts.dataset,
+        opts.threads,
+        opts.repeat,
+        cores,
+        json_points,
+        max_speedup,
+        pps_col,
+        pps_row,
+        layout_speedup,
+        all_identical
+    );
+    std::fs::write(&opts.out, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
+    println!("[saved {}]", opts.out);
+    assert!(all_identical, "thread counts disagreed on the FD set");
+}

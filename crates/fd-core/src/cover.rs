@@ -188,37 +188,75 @@ impl PCover {
     /// minimal specializations that escape it.
     pub fn invert(&mut self, non_fd: Fd) -> InvertDelta {
         let n = self.n_attrs();
-        let rhs = non_fd.rhs;
-        let mut delta = InvertDelta::default();
-        loop {
-            let tree = &mut self.per_rhs[rhs as usize];
-            let generals = tree.remove_subsets_of(&non_fd.lhs);
-            if generals.is_empty() {
-                break;
-            }
-            self.len -= generals.len();
-            delta.removed += generals.len();
-            for general in generals {
-                for attr in 0..n {
-                    let attr = attr as AttrId;
-                    // Skip attributes already in the candidate or equal to its
-                    // RHS (keeps candidates non-trivial), and attributes of
-                    // the non-FD's LHS — those specializations stay inside the
-                    // invalidated region and would be removed again next loop.
-                    if general.contains(attr) || attr == rhs || non_fd.lhs.contains(attr) {
-                        continue;
-                    }
-                    let candidate = general.with(attr);
-                    let tree = &mut self.per_rhs[rhs as usize];
-                    if tree.contains_subset_of(&candidate) {
-                        continue; // a more general candidate already covers it
-                    }
-                    tree.insert(candidate);
-                    self.len += 1;
-                    delta.added += 1;
-                }
+        let delta =
+            invert_into_tree(&mut self.per_rhs[non_fd.rhs as usize], n, non_fd.rhs, &non_fd.lhs);
+        self.len = self.len + delta.added - delta.removed;
+        delta
+    }
+
+    /// Inverts a batch of non-FDs, sharded per RHS attribute across up to
+    /// `threads` scoped worker threads. Equivalent to sorting `non_fds` most
+    /// specialized first (Algorithm 2's order) and calling
+    /// [`PCover::invert`] for each: a non-FD `X ↛ A` only ever touches the
+    /// RHS-`A` tree, so the per-RHS work lists are independent, and each is
+    /// processed in the sorted order regardless of which worker runs it —
+    /// the resulting cover is byte-identical for every thread count.
+    ///
+    /// Drains `non_fds` and returns the summed churn.
+    pub fn invert_batch(&mut self, non_fds: &mut Vec<Fd>, threads: usize) -> InvertDelta {
+        let n = self.n_attrs();
+        // Stable sort: within one RHS, equal-length non-FDs keep arrival
+        // order, exactly like the sequential sort-then-drain loop.
+        non_fds.sort_by_key(|fd| std::cmp::Reverse(fd.lhs.len()));
+        let mut per_rhs_work: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
+        let total = non_fds.len();
+        for fd in non_fds.drain(..) {
+            per_rhs_work[fd.rhs as usize].push(fd.lhs);
+        }
+        let mut jobs: Vec<(AttrId, &mut LhsTree, Vec<AttrSet>)> = Vec::new();
+        for ((rhs, tree), work) in self.per_rhs.iter_mut().enumerate().zip(per_rhs_work) {
+            if !work.is_empty() {
+                jobs.push((rhs as AttrId, tree, work));
             }
         }
+        // Small batches invert inline: spawning threads costs more than the
+        // tree surgery it would parallelize. The cutoff cannot change the
+        // result, only the wall clock.
+        let workers = if total < MIN_INVERSIONS_PARALLEL {
+            1
+        } else {
+            threads.max(1).min(jobs.len().max(1))
+        };
+        let mut delta = InvertDelta::default();
+        if workers <= 1 {
+            for (rhs, tree, work) in jobs {
+                for lhs in work {
+                    delta += invert_into_tree(tree, n, rhs, &lhs);
+                }
+            }
+        } else {
+            let chunk = jobs.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = jobs
+                    .chunks_mut(chunk)
+                    .map(|job_chunk| {
+                        s.spawn(move || {
+                            let mut local = InvertDelta::default();
+                            for (rhs, tree, work) in job_chunk {
+                                for lhs in work.drain(..) {
+                                    local += invert_into_tree(tree, n, *rhs, &lhs);
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    delta += handle.join().expect("inversion worker panicked");
+                }
+            });
+        }
+        self.len = self.len + delta.added - delta.removed;
         delta
     }
 
@@ -245,18 +283,55 @@ impl PCover {
     }
 }
 
+/// Batches below this size invert sequentially in [`PCover::invert_batch`].
+const MIN_INVERSIONS_PARALLEL: usize = 64;
+
+/// One non-FD's inversion against a single RHS tree (the body shared by
+/// [`PCover::invert`] and the per-RHS shards of [`PCover::invert_batch`]).
+fn invert_into_tree(tree: &mut LhsTree, n_attrs: usize, rhs: AttrId, non_fd_lhs: &AttrSet) -> InvertDelta {
+    let mut delta = InvertDelta::default();
+    loop {
+        let generals = tree.remove_subsets_of(non_fd_lhs);
+        if generals.is_empty() {
+            break;
+        }
+        delta.removed += generals.len();
+        for general in generals {
+            for attr in 0..n_attrs {
+                let attr = attr as AttrId;
+                // Skip attributes already in the candidate or equal to its
+                // RHS (keeps candidates non-trivial), and attributes of
+                // the non-FD's LHS — those specializations stay inside the
+                // invalidated region and would be removed again next loop.
+                if general.contains(attr) || attr == rhs || non_fd_lhs.contains(attr) {
+                    continue;
+                }
+                let candidate = general.with(attr);
+                if tree.contains_subset_of(&candidate) {
+                    continue; // a more general candidate already covers it
+                }
+                tree.insert(candidate);
+                delta.added += 1;
+            }
+        }
+    }
+    delta
+}
+
 /// Builds the positive cover implied by a set of non-FDs: initializes the
 /// most general candidates and inverts every non-FD (Algorithm 3 main loop).
 /// This is the whole of Fdep's second half and the final step of AID-FD.
 pub fn invert_ncover(ncover: &NCover) -> PCover {
+    invert_ncover_parallel(ncover, 1)
+}
+
+/// [`invert_ncover`] with the per-RHS inversion work fanned out over up to
+/// `threads` scoped worker threads (see [`PCover::invert_batch`]). The
+/// result is identical for every thread count.
+pub fn invert_ncover_parallel(ncover: &NCover, threads: usize) -> PCover {
     let mut pcover = PCover::initialized(ncover.n_attrs());
     let mut non_fds = ncover.to_fds();
-    // Most specialized first (Algorithm 2's sort): each candidate is pruned
-    // once instead of being re-specialized by successive generalizations.
-    non_fds.sort_by_key(|fd| std::cmp::Reverse(fd.lhs.len()));
-    for non_fd in non_fds {
-        pcover.invert(non_fd);
-    }
+    pcover.invert_batch(&mut non_fds, threads);
     pcover
 }
 

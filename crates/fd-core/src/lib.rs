@@ -42,7 +42,7 @@ pub mod naive;
 
 pub use attrset::{AttrId, AttrSet, MAX_ATTRS};
 pub use closure::{bcnf_violations, candidate_keys, closure, equivalent, implies, non_redundant_cover};
-pub use cover::{invert_ncover, InvertDelta, NCover, PCover};
+pub use cover::{invert_ncover, invert_ncover_parallel, InvertDelta, NCover, PCover};
 pub use fd::{Fd, FdSet};
 pub use fd_tree::FdTree;
 pub use hash::{FastHashMap, FastHashSet, FxHasher};

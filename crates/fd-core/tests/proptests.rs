@@ -295,6 +295,41 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Per-RHS sharded inversion is indistinguishable from the sequential
+    /// sort-then-drain loop, at every thread count, in both the final cover
+    /// and the reported churn.
+    #[test]
+    fn parallel_inversion_matches_sequential(
+        agrees in prop::collection::vec(attr_set(8), 1..40),
+    ) {
+        let mut nc = NCover::new(8);
+        for agree in &agrees {
+            nc.add_agree_set(*agree);
+        }
+        let baseline = fd_core::invert_ncover(&nc);
+        // Churn oracle: the single-FD invert loop in sorted order.
+        let mut pc = fd_core::PCover::initialized(8);
+        let mut non_fds = nc.to_fds();
+        non_fds.sort_by_key(|fd| std::cmp::Reverse(fd.lhs.len()));
+        let mut expect_delta = fd_core::InvertDelta::default();
+        for fd in non_fds {
+            expect_delta += pc.invert(fd);
+        }
+        prop_assert_eq!(pc.to_fdset(), baseline.to_fdset());
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = fd_core::invert_ncover_parallel(&nc, threads);
+            prop_assert_eq!(parallel.to_fdset(), baseline.to_fdset(), "threads={}", threads);
+            prop_assert_eq!(parallel.len(), baseline.len(), "threads={}", threads);
+            let mut pc = fd_core::PCover::initialized(8);
+            let mut batch = nc.to_fds();
+            let delta = pc.invert_batch(&mut batch, threads);
+            prop_assert_eq!(delta, expect_delta, "threads={}", threads);
+            prop_assert!(batch.is_empty(), "invert_batch drains its input");
+        }
+    }
+}
+
 /// A deterministic regression: an FdSet built from a PCover equals the set
 /// rebuilt from its own iterator.
 #[test]

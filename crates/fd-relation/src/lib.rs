@@ -34,9 +34,9 @@ pub mod synth;
 pub use approx::{g3_error, g3_of, g3_report, G3Report};
 pub use csv::{read_csv, read_csv_file, write_csv, CsvError, CsvOptions, NullPolicy};
 pub use discovery::{verify_fds, FdAlgorithm};
-pub use partition::{sampling_clusters, Partition};
+pub use partition::{sampling_clusters, sampling_clusters_parallel, Partition, ProductScratch};
 pub use profile::{profile, ColumnProfile, RelationProfile};
-pub use relation::{NullLabeling, Relation, RelationBuilder, RowId};
+pub use relation::{BatchStats, NullLabeling, Relation, RelationBuilder, RowId, RowMajor};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {

@@ -79,9 +79,18 @@ impl Partition {
     /// together in both partitions. Implements the standard two-pass probe
     /// algorithm over stripped inputs.
     pub fn product(&self, other: &Partition) -> Partition {
+        self.product_with(other, &mut ProductScratch::default())
+    }
+
+    /// [`Partition::product`] with caller-owned scratch space. Tane's
+    /// level-wise generation computes products in a tight nested loop;
+    /// reusing the probe table (sized at `covered_rows` entries) across
+    /// calls keeps its allocation out of that loop.
+    pub fn product_with(&self, other: &Partition, scratch: &mut ProductScratch) -> Partition {
         debug_assert_eq!(self.n_rows, other.n_rows);
+        let ProductScratch { owner, groups, spare } = scratch;
         // Map each row covered by `self` to its cluster index.
-        let mut owner: FastHashMap<RowId, u32> = FastHashMap::default();
+        owner.clear();
         owner.reserve(self.covered_rows());
         for (i, cluster) in self.clusters.iter().enumerate() {
             for &t in cluster {
@@ -90,18 +99,23 @@ impl Partition {
         }
         // Group rows of each `other`-cluster by their `self`-cluster.
         let mut out: Vec<Vec<RowId>> = Vec::new();
-        let mut groups: FastHashMap<u32, Vec<RowId>> = FastHashMap::default();
+        groups.clear();
         for cluster in &other.clusters {
-            groups.clear();
             for &t in cluster {
                 if let Some(&o) = owner.get(&t) {
-                    groups.entry(o).or_default().push(t);
+                    groups
+                        .entry(o)
+                        .or_insert_with(|| spare.pop().unwrap_or_default())
+                        .push(t);
                 }
             }
             for (_, mut rows) in groups.drain() {
                 if rows.len() > 1 {
                     rows.sort_unstable();
                     out.push(rows);
+                } else {
+                    rows.clear();
+                    spare.push(rows);
                 }
             }
         }
@@ -135,16 +149,61 @@ impl Partition {
     }
 }
 
+/// Reusable allocations for [`Partition::product_with`]: the row→cluster
+/// probe table, the per-cluster grouping map, and a pool of retired group
+/// vectors.
+#[derive(Default)]
+pub struct ProductScratch {
+    owner: FastHashMap<RowId, u32>,
+    groups: FastHashMap<u32, Vec<RowId>>,
+    spare: Vec<Vec<RowId>>,
+}
+
 /// The cluster population the samplers draw from: every cluster of every
 /// attribute's stripped partition, deduplicated by content (identical
 /// clusters recur across correlated columns and would be sampled repeatedly
 /// for no new information).
 pub fn sampling_clusters(relation: &Relation) -> Vec<Vec<RowId>> {
+    sampling_clusters_parallel(relation, 1)
+}
+
+/// [`sampling_clusters`] with the per-attribute partitioning pass fanned out
+/// over up to `threads` scoped worker threads (each builds the stripped
+/// partitions of a contiguous attribute range). Deduplication runs
+/// sequentially in attribute order afterwards, so the result is identical
+/// for every thread count.
+pub fn sampling_clusters_parallel(relation: &Relation, threads: usize) -> Vec<Vec<RowId>> {
+    let n_attrs = relation.n_attrs();
+    let workers = threads.max(1).min(n_attrs.max(1));
+    let stripped: Vec<Partition> = if workers <= 1 {
+        (0..n_attrs)
+            .map(|a| Partition::of_column(relation, a as AttrId).stripped())
+            .collect()
+    } else {
+        let attrs: Vec<AttrId> = (0..n_attrs as AttrId).collect();
+        let chunk = n_attrs.div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = attrs
+                .chunks(chunk)
+                .map(|attr_chunk| {
+                    s.spawn(move || {
+                        attr_chunk
+                            .iter()
+                            .map(|&a| Partition::of_column(relation, a).stripped())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("partition worker panicked"))
+                .collect()
+        })
+    };
     let mut seen: FastHashSet<Vec<RowId>> = FastHashSet::default();
     let mut out = Vec::new();
-    for a in 0..relation.n_attrs() {
-        let stripped = Partition::of_column(relation, a as AttrId).stripped();
-        for cluster in stripped.clusters {
+    for partition in stripped {
+        for cluster in partition.clusters {
             if seen.insert(cluster.clone()) {
                 out.push(cluster);
             }

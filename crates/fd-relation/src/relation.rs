@@ -8,7 +8,7 @@
 //! representation and the cache-friendly layout for the pairwise row
 //! comparisons that dominate discovery time.
 
-use fd_core::{AttrId, AttrSet, FastHashMap, MAX_ATTRS};
+use fd_core::{AttrId, AttrSet, FastHashMap, FastHashSet, MAX_ATTRS};
 
 /// Identifier of a row (tuple) within a relation.
 pub type RowId = u32;
@@ -108,6 +108,21 @@ impl Relation {
         agree
     }
 
+    /// Builds the row-major packed mirror of this relation (see
+    /// [`RowMajor`]). Costs one pass over the data and doubles the encoded
+    /// footprint; pays for itself as soon as tuple pairs are compared in
+    /// bulk.
+    pub fn row_major(&self) -> RowMajor {
+        let width = self.n_attrs();
+        let mut data = vec![0u32; width * self.n_rows];
+        for (a, col) in self.columns.iter().enumerate() {
+            for (t, &label) in col.iter().enumerate() {
+                data[t * width + a] = label;
+            }
+        }
+        RowMajor { data, width, n_rows: self.n_rows }
+    }
+
     /// True if the FD `lhs → rhs` holds on the full instance (Definition 1),
     /// verified with a single hash pass over all tuples.
     pub fn fd_holds(&self, lhs: &AttrSet, rhs: AttrId) -> bool {
@@ -116,7 +131,15 @@ impl Relation {
             // ∅ → A holds iff column A is constant.
             return rhs_col.windows(2).all(|w| w[0] == w[1]);
         }
-        let lhs_attrs: Vec<AttrId> = lhs.iter().collect();
+        // Unpack the LHS onto the stack: `fd_holds` runs in validation tight
+        // loops, and a per-call heap Vec shows up there.
+        let mut lhs_buf = [0 as AttrId; MAX_ATTRS];
+        let mut n_lhs = 0;
+        for a in lhs.iter() {
+            lhs_buf[n_lhs] = a;
+            n_lhs += 1;
+        }
+        let lhs_attrs = &lhs_buf[..n_lhs];
         let mut seen: FastHashMap<Vec<u32>, u32> = FastHashMap::default();
         seen.reserve(self.n_rows);
         let mut key = Vec::with_capacity(lhs_attrs.len());
@@ -175,6 +198,180 @@ impl Relation {
             *distinct = remap.len() as u32;
         }
     }
+}
+
+/// Per-batch counters of the pair-comparison kernel. Each worker thread
+/// accumulates its own copy on the stack — no shared atomics on the hot
+/// path — and the copies are summed at the `thread::scope` join barrier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Tuple pairs whose agree sets were computed.
+    pub pairs_compared: u64,
+    /// Agree sets that survived the worker-side novelty filter (not yet in
+    /// the caller's seen-set, first occurrence within the worker's chunk).
+    pub candidates: u64,
+    /// Worker threads that participated (1 = the batch ran inline).
+    pub workers: usize,
+}
+
+impl std::ops::AddAssign for BatchStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.pairs_compared += rhs.pairs_compared;
+        self.candidates += rhs.candidates;
+        self.workers += rhs.workers;
+    }
+}
+
+/// Pairs below this per-worker share run inline: spawning a scoped thread
+/// costs tens of microseconds, so a worker must receive at least this many
+/// comparisons to amortize it.
+const MIN_PAIRS_PER_WORKER: usize = 4096;
+
+/// A row-major packed mirror of a [`Relation`].
+///
+/// The column-major master layout is ideal for per-attribute passes
+/// (partitioning, verification) but makes `agree_set` a strided gather: one
+/// cache line per attribute per tuple. This mirror packs each tuple's labels
+/// contiguously (`data[t * width ..][..width]`), so an agree set is a linear
+/// scan of two short `u32` slices — the layout the sampling loop, which
+/// dominates EulerFD's runtime, actually wants. Batched comparison fans the
+/// pair list out across scoped worker threads; results always come back in
+/// pair order, so downstream folds are deterministic for any thread count.
+#[derive(Clone, Debug)]
+pub struct RowMajor {
+    /// `data[t * width + a]` is the label of tuple `t` on attribute `a`.
+    data: Vec<u32>,
+    width: usize,
+    n_rows: usize,
+}
+
+impl RowMajor {
+    /// Number of attributes per row.
+    pub fn n_attrs(&self) -> usize {
+        self.width
+    }
+
+    /// Number of tuples.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The packed labels of tuple `t`.
+    #[inline]
+    pub fn row(&self, t: RowId) -> &[u32] {
+        let start = t as usize * self.width;
+        &self.data[start..start + self.width]
+    }
+
+    /// The agree set of tuples `t` and `u`, computed as one linear scan of
+    /// two contiguous slices. Matches [`Relation::agree_set`] exactly.
+    #[inline]
+    pub fn agree_set(&self, t: RowId, u: RowId) -> AttrSet {
+        agree_of_rows(self.row(t), self.row(u))
+    }
+
+    /// Agree sets of every pair in `pairs`, in pair order, computed on up to
+    /// `threads` scoped worker threads.
+    pub fn agree_sets_batch(&self, pairs: &[(RowId, RowId)], threads: usize) -> Vec<AttrSet> {
+        let mut out = vec![AttrSet::empty(); pairs.len()];
+        let workers = self.plan_workers(pairs.len(), threads);
+        if workers <= 1 {
+            for (slot, &(t, u)) in out.iter_mut().zip(pairs) {
+                *slot = self.agree_set(t, u);
+            }
+            return out;
+        }
+        let chunk = pairs.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (slot, &(t, u)) in out_chunk.iter_mut().zip(pair_chunk) {
+                        *slot = self.agree_set(t, u);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// The comparison kernel of the sampling module: computes the agree set
+    /// of every pair and keeps only *novel* ones — not present in `seen`
+    /// (a read-only snapshot of the caller's dedup set) and not repeated
+    /// within the worker's own chunk.
+    ///
+    /// The returned sets preserve pair order (worker chunks are concatenated
+    /// in plan order, never completion order). A set straddling two chunks
+    /// may appear once per chunk; the caller's sequential fold deduplicates
+    /// across chunks, so the *folded* outcome is byte-identical for every
+    /// thread count.
+    pub fn novel_agree_sets(
+        &self,
+        pairs: &[(RowId, RowId)],
+        seen: &FastHashSet<AttrSet>,
+        threads: usize,
+    ) -> (Vec<AttrSet>, BatchStats) {
+        let workers = self.plan_workers(pairs.len(), threads);
+        if workers <= 1 {
+            let novel = self.novel_chunk(pairs, seen);
+            let stats = BatchStats {
+                pairs_compared: pairs.len() as u64,
+                candidates: novel.len() as u64,
+                workers: 1,
+            };
+            return (novel, stats);
+        }
+        let chunk = pairs.len().div_ceil(workers);
+        let mut stats = BatchStats::default();
+        let mut out: Vec<AttrSet> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .map(|pair_chunk| s.spawn(move || self.novel_chunk(pair_chunk, seen)))
+                .collect();
+            // Join barrier: merge per-worker results and counters in plan
+            // order so the fold downstream never observes completion order.
+            for (handle, pair_chunk) in handles.into_iter().zip(pairs.chunks(chunk)) {
+                let novel = handle.join().expect("comparison worker panicked");
+                stats += BatchStats {
+                    pairs_compared: pair_chunk.len() as u64,
+                    candidates: novel.len() as u64,
+                    workers: 1,
+                };
+                out.extend(novel);
+            }
+        });
+        (out, stats)
+    }
+
+    /// One worker's share of [`RowMajor::novel_agree_sets`].
+    fn novel_chunk(&self, pairs: &[(RowId, RowId)], seen: &FastHashSet<AttrSet>) -> Vec<AttrSet> {
+        let mut local: FastHashSet<AttrSet> = FastHashSet::default();
+        let mut out = Vec::new();
+        for &(t, u) in pairs {
+            let agree = self.agree_set(t, u);
+            if !seen.contains(&agree) && local.insert(agree) {
+                out.push(agree);
+            }
+        }
+        out
+    }
+
+    /// Number of workers a batch of `pairs` merits under `threads`.
+    fn plan_workers(&self, pairs: usize, threads: usize) -> usize {
+        threads.max(1).min(pairs.div_ceil(MIN_PAIRS_PER_WORKER).max(1))
+    }
+}
+
+/// Linear-scan agree set of two packed rows.
+#[inline]
+fn agree_of_rows(a: &[u32], b: &[u32]) -> AttrSet {
+    let mut agree = AttrSet::empty();
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x == y {
+            agree.insert(i as AttrId);
+        }
+    }
+    agree
 }
 
 /// How missing values are labeled by [`RelationBuilder::push_nullable_row`].

@@ -1,8 +1,11 @@
 //! Property tests for the data substrate: partition algebra, CSV
 //! round-trips, relation invariants, and agree-set consistency.
 
-use fd_core::{AttrId, AttrSet};
-use fd_relation::{read_csv, sampling_clusters, write_csv, CsvOptions, Partition, Relation};
+use fd_core::{AttrId, AttrSet, FastHashSet};
+use fd_relation::{
+    read_csv, sampling_clusters, sampling_clusters_parallel, synth, write_csv, CsvOptions,
+    Partition, Relation, RowId,
+};
 use proptest::prelude::*;
 
 /// Random dense-labeled relations (up to 5 columns × 40 rows).
@@ -147,6 +150,47 @@ proptest! {
         }
     }
 
+    /// The row-major mirror is a faithful re-layout: its agree sets match
+    /// the column-major computation pairwise, and the batched kernel returns
+    /// the same sets in pair order at every thread count.
+    #[test]
+    fn row_major_agrees_with_column_major(r in relation_strategy()) {
+        let n = r.n_rows() as RowId;
+        if n < 2 {
+            return Ok(());
+        }
+        let rm = r.row_major();
+        prop_assert_eq!(rm.n_rows(), r.n_rows());
+        prop_assert_eq!(rm.n_attrs(), r.n_attrs());
+        let mut pairs: Vec<(RowId, RowId)> = Vec::new();
+        for t in 0..n.min(12) {
+            for u in 0..n.min(12) {
+                pairs.push((t, u));
+            }
+        }
+        let expect: Vec<AttrSet> = pairs.iter().map(|&(t, u)| r.agree_set(t, u)).collect();
+        for (&(t, u), want) in pairs.iter().zip(&expect) {
+            prop_assert_eq!(rm.agree_set(t, u), *want, "pair ({}, {})", t, u);
+        }
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(rm.agree_sets_batch(&pairs, threads), expect.clone());
+        }
+    }
+
+    /// The parallel cluster population equals the sequential one exactly
+    /// (per-attribute partitions are merged and deduped in attribute order).
+    #[test]
+    fn parallel_sampling_clusters_match_sequential(r in relation_strategy()) {
+        let sequential = sampling_clusters(&r);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(
+                sampling_clusters_parallel(&r, threads),
+                sequential.clone(),
+                "threads={}", threads
+            );
+        }
+    }
+
     /// head(n) keeps the first n rows and re-densifies labels.
     #[test]
     fn head_preserves_prefix_equality_structure(r in relation_strategy(), n in 1usize..=40) {
@@ -196,5 +240,66 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// A batch large enough that the kernel genuinely spawns workers (the
+/// proptest relations above stay below the spawn threshold and run inline).
+fn big_batch() -> (Relation, Vec<(RowId, RowId)>) {
+    let relation = synth::dataset_spec("abalone").unwrap().generate(12_000);
+    let n = relation.n_rows() as RowId;
+    let pairs: Vec<(RowId, RowId)> = (0..n - 1).map(|t| (t, t + 1)).chain((0..n / 2).map(|t| (t, n - 1 - t))).collect();
+    (relation, pairs)
+}
+
+#[test]
+fn large_batches_split_across_workers_without_changing_results() {
+    let (relation, pairs) = big_batch();
+    let rm = relation.row_major();
+    let sequential = rm.agree_sets_batch(&pairs, 1);
+    assert_eq!(sequential.len(), pairs.len());
+    for threads in [2usize, 4, 8] {
+        assert_eq!(rm.agree_sets_batch(&pairs, threads), sequential, "threads={threads}");
+    }
+}
+
+#[test]
+fn novel_agree_sets_fold_matches_sequential_novelty_scan() {
+    let (relation, pairs) = big_batch();
+    let rm = relation.row_major();
+    // Pre-seed the dedup set with the first 200 pairs' agree sets, as if an
+    // earlier sample had already surfaced them.
+    let mut seen: FastHashSet<AttrSet> = FastHashSet::default();
+    for &(t, u) in &pairs[..200] {
+        seen.insert(relation.agree_set(t, u));
+    }
+    // Oracle: the seed code path — scan pairs in order, keep first
+    // occurrences of unseen sets.
+    let mut oracle_seen = seen.clone();
+    let mut oracle: Vec<AttrSet> = Vec::new();
+    for &(t, u) in &pairs {
+        let agree = relation.agree_set(t, u);
+        if !seen.contains(&agree) && oracle_seen.insert(agree) {
+            oracle.push(agree);
+        }
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let (candidates, stats) = rm.novel_agree_sets(&pairs, &seen, threads);
+        assert_eq!(stats.pairs_compared, pairs.len() as u64, "threads={threads}");
+        assert_eq!(stats.candidates, candidates.len() as u64, "threads={threads}");
+        if threads >= 4 {
+            assert!(stats.workers >= 2, "expected multiple workers at threads={threads}");
+        }
+        // A set straddling worker chunks may appear once per chunk; the
+        // sequential fold collapses those, and the folded order must equal
+        // the global first-occurrence order.
+        let mut fold_seen = seen.clone();
+        let mut folded: Vec<AttrSet> = Vec::new();
+        for agree in candidates {
+            if fold_seen.insert(agree) {
+                folded.push(agree);
+            }
+        }
+        assert_eq!(folded, oracle, "threads={threads}");
     }
 }

@@ -1,0 +1,338 @@
+//! The [`Strategy`] trait and the combinators/primitive strategies the
+//! workspace's property tests use.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply draws a value from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a second strategy from it,
+    /// and draws from that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(pub(crate) Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted choice between type-erased strategies
+/// (the [`prop_oneof!`](crate::prop_oneof) backing type).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positively weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut roll = rng.below(self.total);
+        for (w, strat) in &self.arms {
+            if roll < *w as u64 {
+                return strat.generate(rng);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("roll below total weight always lands in an arm")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (S0 0),
+    (S0 0, S1 1),
+    (S0 0, S1 1, S2 2),
+    (S0 0, S1 1, S2 2, S3 3),
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+);
+
+/// String-pattern strategy: interprets a `&str` as a (tiny) regex of the
+/// form `[class]{lo,hi}` — one character class with `a-b` ranges and `\n`,
+/// `\t`, `\\`, `\]`, `\-` escapes, repeated a uniform number of times.
+/// Any other string generates itself literally (the upstream behavior for
+/// patterns without metacharacters).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((chars, lo, hi)) => {
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..n)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (alphabet, lo, hi); `None` if the pattern
+/// has any other shape.
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = find_unescaped(rest, ']')?;
+    let class = &rest[..close];
+    let tail = &rest[close + 1..];
+    let tail = tail.strip_prefix('{')?;
+    let tail = tail.strip_suffix('}')?;
+    let (lo, hi) = match tail.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = tail.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if hi < lo {
+        return None;
+    }
+
+    let mut chars: Vec<char> = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        let c = if c == '\\' {
+            match it.next()? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            c
+        };
+        // Range `a-b` (a `-` not followed by anything is a literal).
+        if it.peek() == Some(&'-') {
+            let mut lookahead = it.clone();
+            lookahead.next(); // consume '-'
+            if let Some(end) = lookahead.next() {
+                if end != ']' {
+                    let end = if end == '\\' { lookahead.next()? } else { end };
+                    for code in (c as u32)..=(end as u32) {
+                        chars.push(char::from_u32(code)?);
+                    }
+                    it = lookahead;
+                    continue;
+                }
+            }
+        }
+        chars.push(c);
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+fn find_unescaped(s: &str, target: char) -> Option<usize> {
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == target {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (3u16..9).generate(&mut r);
+            assert!((3..9).contains(&x));
+            let y = (5usize..=5).generate(&mut r);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+        let nested = (1usize..=4).prop_flat_map(|n| crate::collection::vec(0u32..5, n..=n));
+        for _ in 0..100 {
+            let v = nested.generate(&mut r);
+            assert!((1..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut r = rng();
+        let u = Union::new(vec![(3, Just(0u8).boxed()), (1, Just(1u8).boxed())]);
+        let ones = (0..4000).filter(|_| u.generate(&mut r) == 1).count();
+        assert!((700..1300).contains(&ones), "{ones} ones of 4000 at weight 1/4");
+    }
+
+    #[test]
+    fn string_pattern_generates_class_members() {
+        let mut r = rng();
+        let pat = "[ -~\n]{0,12}";
+        for _ in 0..300 {
+            let s = pat.generate(&mut r);
+            assert!(s.chars().count() <= 12);
+            for c in s.chars() {
+                assert!(c == '\n' || (' '..='~').contains(&c), "bad char {c:?}");
+            }
+        }
+        // Literal fallback.
+        assert_eq!("abc".generate(&mut r), "abc");
+    }
+}

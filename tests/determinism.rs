@@ -46,6 +46,36 @@ fn reports_are_deterministic_too() {
 }
 
 #[test]
+fn thread_count_is_invisible_in_the_result() {
+    // The acceptance bar of the data-parallel pipeline: for a fixed input,
+    // threads ∈ {1, 2, 4, 8} produce a byte-identical FD set and identical
+    // growth-rate histories. The dataset is big enough (low-cardinality
+    // columns → clusters of thousands of rows) that multi-thread runs
+    // genuinely cross the parallel-spawn threshold.
+    let relation = synth::dataset_spec("abalone").unwrap().generate(20_000);
+    let (base_fds, base_rep) =
+        EulerFd::with_config(EulerFdConfig::default().with_threads(1)).discover_with_report(&relation);
+    for threads in [2usize, 4, 8] {
+        let algo = EulerFd::with_config(EulerFdConfig::default().with_threads(threads));
+        let (fds, rep) = algo.discover_with_report(&relation);
+        assert_eq!(base_fds, fds, "FdSet diverged at threads={threads}");
+        assert_eq!(base_rep.gr_ncover, rep.gr_ncover, "gr_ncover diverged at threads={threads}");
+        assert_eq!(base_rep.gr_pcover, rep.gr_pcover, "gr_pcover diverged at threads={threads}");
+        assert_eq!(base_rep.sampler.pairs_compared, rep.sampler.pairs_compared);
+        // `fold_candidates` is intentionally NOT compared: an agree set
+        // straddling two worker chunks reaches the fold once per chunk, so
+        // the counter is a thread-dependent diagnostic. The fold itself
+        // collapses the duplicates, which is what the assertions above prove.
+        if threads >= 2 {
+            assert!(
+                rep.sampler.peak_workers >= 2,
+                "parallel compare path never engaged at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn row_and_column_restrictions_are_stable() {
     let spec = synth::dataset_spec("plista").unwrap();
     let full = spec.generate(800);
