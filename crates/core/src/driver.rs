@@ -23,7 +23,7 @@
 
 use crate::config::EulerFdConfig;
 use crate::sampler::{Sampler, SamplerStats};
-use fd_core::{AttrId, AttrSet, Fd, FdSet, InvertDelta, NCover, PCover};
+use fd_core::{AttrId, AttrSet, Budget, Fd, FdSet, InvertDelta, NCover, PCover, Termination};
 use fd_relation::{FdAlgorithm, Relation};
 
 /// The EulerFD approximate discovery algorithm.
@@ -50,6 +50,23 @@ pub struct EulerFdReport {
     pub pcover_size: usize,
     /// Candidate churn summed over all inversions.
     pub invert_delta: InvertDelta,
+    /// Why the run stopped. [`Termination::Converged`] means the double
+    /// cycle reached its natural fixpoint; anything else means the budget
+    /// tripped and the FDs are the best-so-far anytime answer.
+    pub termination: Termination,
+    /// Non-FDs that were still awaiting inversion when the budget tripped.
+    /// For every reason except [`Termination::Cancelled`] the driver drains
+    /// them before returning (keeping the answer sound w.r.t. all sampled
+    /// pairs), so this counts the final drain's input; for `Cancelled` it
+    /// counts evidence the returned cover does *not* reflect.
+    pub pending_at_trip: usize,
+}
+
+impl EulerFdReport {
+    /// True when the run was cut short by its budget (or a cancellation).
+    pub fn is_partial(&self) -> bool {
+        self.termination.is_partial()
+    }
 }
 
 impl EulerFd {
@@ -71,6 +88,28 @@ impl EulerFd {
 
     /// Runs discovery and returns the FDs together with the run report.
     pub fn discover_with_report(&self, relation: &Relation) -> (FdSet, EulerFdReport) {
+        self.discover_budgeted(relation, &Budget::unlimited())
+    }
+
+    /// Runs discovery under a [`Budget`]: anytime execution with cooperative
+    /// cancellation. With [`Budget::unlimited`] this is bit-for-bit
+    /// identical to [`EulerFd::discover_with_report`]. When the budget trips
+    /// (deadline, pair cap, cover cap, or an external cancel via the
+    /// budget's token), the driver exits the current cycle and returns the
+    /// best-so-far positive cover; `report.termination` tells a full answer
+    /// from a truncated one.
+    ///
+    /// Checkpoints: the budget is polled once per sampling step (one MLFQ
+    /// window pass) and at every cycle boundary, and the inversion shards
+    /// watch the shared token between non-FDs. Except under an external
+    /// [`Termination::Cancelled`], non-FDs already sampled are always
+    /// inverted before returning, so the partial cover is minimal,
+    /// non-trivial, and sound with respect to every tuple pair compared.
+    pub fn discover_budgeted(
+        &self,
+        relation: &Relation,
+        budget: &Budget,
+    ) -> (FdSet, EulerFdReport) {
         let m = relation.n_attrs();
         let mut report = EulerFdReport::default();
         let mut ncover = NCover::new(m);
@@ -88,7 +127,9 @@ impl EulerFd {
         }
 
         let mut sampler = Sampler::new(relation, &self.config);
-        sampler.initial_pass(relation, &mut ncover, &mut pending);
+        let mut termination = sampler
+            .initial_pass_budgeted(relation, &mut ncover, &mut pending, budget)
+            .unwrap_or_default();
 
         // Algorithm 1 runs the MLFQ to exhaustion per sampling phase; the
         // batch bound (ablation knob) can hand control back to the growth
@@ -100,7 +141,7 @@ impl EulerFd {
             usize::MAX
         };
 
-        loop {
+        'run: while termination == Termination::Converged {
             // ── Cycle 1: sample while the negative cover keeps growing.
             // GR_Ncover is the fraction of *additions* relative to the cover
             // size before the phase ("percentage of additions", V-F). When
@@ -111,6 +152,15 @@ impl EulerFd {
                 let adds_before = ncover.insertions();
                 let mut sampled_any = false;
                 for _ in 0..batch {
+                    // Budget checkpoint: one poll per sampling step. A step
+                    // is a full window pass over one cluster, so the poll is
+                    // amortized over at least one pair comparison.
+                    if let Some(t) = budget
+                        .poll(sampler.stats().pairs_compared, ncover.len() + pcover.len())
+                    {
+                        termination = t;
+                        break 'run;
+                    }
                     if !sampler.sample_next(relation, &mut ncover, &mut pending) {
                         break;
                     }
@@ -132,13 +182,25 @@ impl EulerFd {
             // ── Inversion + cycle 2: stop unless Pcover churns enough. ──
             // Processing the most specialized non-FDs first (Algorithm 2's
             // sort) prunes each candidate once instead of re-specializing it
-            // repeatedly as more general evidence arrives.
+            // repeatedly as more general evidence arrives. The shards watch
+            // the budget's token, so a watchdog or external cancel stops the
+            // inversion between non-FDs; whatever it skipped stays in
+            // `pending` for the final drain below.
             let before_p = pcover.len();
-            let delta = pcover.invert_batch(&mut pending, self.config.resolved_threads());
+            let delta = pcover.invert_batch_cancellable(
+                &mut pending,
+                self.config.resolved_threads(),
+                budget.token(),
+            );
             report.inversions += 1;
             report.invert_delta += delta;
             let gr_p = delta.added as f64 / before_p.max(1) as f64;
             report.gr_pcover.push(gr_p);
+            if let Some(t) = budget.poll(sampler.stats().pairs_compared, ncover.len() + pcover.len())
+            {
+                termination = t;
+                break 'run;
+            }
             // A positive threshold stops on stability; a threshold of
             // exactly 0 demands full enumeration (an idle inversion does not
             // prove the remaining windows barren), so only the sampling
@@ -155,6 +217,18 @@ impl EulerFd {
             {
                 break;
             }
+        }
+
+        report.termination = termination;
+        report.pending_at_trip = pending.len();
+        if !pending.is_empty() && termination != Termination::Cancelled {
+            // Graceful degradation: fold the evidence already paid for into
+            // the cover so the partial answer stays sound w.r.t. every pair
+            // actually compared. Skipped only on an external cancel, where
+            // the caller asked to stop as fast as possible.
+            let delta = pcover.invert_batch(&mut pending, self.config.resolved_threads());
+            report.inversions += 1;
+            report.invert_delta += delta;
         }
 
         report.sampler = sampler.stats().clone();
@@ -288,6 +362,71 @@ mod tests {
         let fds = EulerFd::new().discover(&r);
         assert_eq!(fds.len(), 3);
         assert!(fds.iter().all(|fd| fd.lhs.is_empty()));
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_unbudgeted() {
+        let r = fd_relation::synth::dataset_spec("abalone").unwrap().generate(800);
+        let euler = EulerFd::new();
+        let (fds_plain, rep_plain) = euler.discover_with_report(&r);
+        let (fds_budget, rep_budget) = euler.discover_budgeted(&r, &Budget::unlimited());
+        assert_eq!(fds_plain, fds_budget);
+        assert_eq!(rep_plain.sampler.pairs_compared, rep_budget.sampler.pairs_compared);
+        assert_eq!(rep_plain.gr_ncover, rep_budget.gr_ncover);
+        assert_eq!(rep_plain.gr_pcover, rep_budget.gr_pcover);
+        assert_eq!(rep_plain.inversions, rep_budget.inversions);
+        assert_eq!(rep_budget.termination, Termination::Converged);
+        assert!(!rep_budget.is_partial());
+    }
+
+    #[test]
+    fn pair_budget_trips_and_partial_cover_is_sound() {
+        let r = fd_relation::synth::dataset_spec("abalone").unwrap().generate(1500);
+        // Tight pair cap: forces an early exit long before convergence.
+        let budget = Budget::unlimited().pair_cap(50);
+        let (fds, report) = EulerFd::new().discover_budgeted(&r, &budget);
+        assert_eq!(report.termination, Termination::PairBudget);
+        assert!(report.is_partial());
+        // The cap bounds work: only one further sampling step may run after
+        // the last passing poll.
+        assert!(report.sampler.pairs_compared as usize <= 50 + r.n_rows());
+        // The partial answer is still a minimal, non-trivial cover…
+        assert!(!fds.is_empty());
+        assert!(fds.is_minimal_cover());
+        // …and sound w.r.t. the sampled pairs: no candidate contradicts the
+        // evidence the run collected (checked indirectly: the exact cover of
+        // the *sampled* evidence is exactly what inversion produces, so
+        // every returned FD must cover-dominate the exact answer).
+        let exact = EulerFd::with_config(EulerFdConfig::with_thresholds(0.0, 0.0)).discover(&r);
+        for fd in &exact {
+            assert!(
+                fds.iter().any(|c| c.rhs == fd.rhs && c.lhs.is_subset_of(&fd.lhs)),
+                "partial cover must generalize the exact FD {fd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn precancelled_token_returns_immediately() {
+        let r = fd_relation::synth::dataset_spec("abalone").unwrap().generate(500);
+        let budget = Budget::unlimited();
+        budget.token().cancel();
+        let (fds, report) = EulerFd::new().discover_budgeted(&r, &budget);
+        assert_eq!(report.termination, Termination::Cancelled);
+        // Nothing was sampled at all: the trip precedes the first cluster.
+        assert_eq!(report.sampler.pairs_compared, 0);
+        assert_eq!(report.sampler.samples, 0);
+        // The most general candidates are still a (vacuously sound) answer.
+        assert_eq!(fds.len(), r.n_attrs());
+    }
+
+    #[test]
+    fn cover_cap_trips_as_memory_budget() {
+        let r = fd_relation::synth::dataset_spec("abalone").unwrap().generate(1500);
+        let budget = Budget::unlimited().cover_cap(16);
+        let (fds, report) = EulerFd::new().discover_budgeted(&r, &budget);
+        assert_eq!(report.termination, Termination::MemoryBudget);
+        assert!(fds.is_minimal_cover());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::config::EulerFdConfig;
 use crate::mlfq::{ClusterId, Mlfq};
-use fd_core::{AttrSet, FastHashSet, Fd, NCover};
+use fd_core::{AttrSet, Budget, FastHashSet, Fd, NCover, Termination};
 use fd_relation::{sampling_clusters_parallel, Relation, RowId, RowMajor};
 use std::collections::VecDeque;
 
@@ -107,9 +107,26 @@ impl Sampler {
     /// Algorithm 1 lines 2–4: sample every cluster once with the initial
     /// window of 2 and enqueue it by the observed capa.
     pub fn initial_pass(&mut self, relation: &Relation, ncover: &mut NCover, pending: &mut Vec<Fd>) {
+        self.initial_pass_budgeted(relation, ncover, pending, &Budget::unlimited());
+    }
+
+    /// [`Sampler::initial_pass`] under a budget: polls between clusters and
+    /// stops early on a trip, returning the reason. Clusters not sampled
+    /// stay out of the MLFQ — exactly as if the queue had drained.
+    pub fn initial_pass_budgeted(
+        &mut self,
+        relation: &Relation,
+        ncover: &mut NCover,
+        pending: &mut Vec<Fd>,
+        budget: &Budget,
+    ) -> Option<Termination> {
         for id in 0..self.clusters.len() {
+            if let Some(t) = budget.poll(self.stats.pairs_compared, ncover.len()) {
+                return Some(t);
+            }
             self.sample_cluster(id as ClusterId, relation, ncover, pending);
         }
+        None
     }
 
     /// Algorithm 1 lines 5–10: one sample of the head of the highest

@@ -10,8 +10,9 @@
 //! single-threaded; parallel collection is an extension, off by default.
 
 use crate::fdep::seed_empty_lhs_non_fds;
-use fd_core::{AttrSet, FastHashSet, NCover};
+use fd_core::{AttrSet, Budget, FastHashSet, NCover, Termination};
 use fd_relation::{sampling_clusters, Relation, RowId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration for agree-set collection.
 #[derive(Clone, Copy, Debug, Default)]
@@ -44,24 +45,43 @@ impl AgreeSetCollector {
     /// instance, plus the `∅`-level seeds). Returns `None` if the pair
     /// budget would be exceeded.
     pub fn collect(&self, relation: &Relation) -> Option<NCover> {
+        match self.collect_budgeted(relation, &Budget::unlimited()) {
+            (cover, Termination::Converged) => cover,
+            _ => None,
+        }
+    }
+
+    /// Budgeted collection. The structural [`AgreeSetCollector::max_pairs`]
+    /// guard keeps its legacy up-front semantics (`(None, PairBudget)`
+    /// without doing any work); the budget is polled per cluster, and a trip
+    /// mid-collection returns the cover built from the clusters processed so
+    /// far. **Caution:** a truncated cover is sound only w.r.t. the pairs
+    /// processed — difference sets derived from it are incomplete, so
+    /// downstream cover searches must not treat their output as validated
+    /// FDs of the full instance.
+    pub fn collect_budgeted(
+        &self,
+        relation: &Relation,
+        budget: &Budget,
+    ) -> (Option<NCover>, Termination) {
         let clusters = sampling_clusters(relation);
         if let Some(limit) = self.max_pairs {
             let total: u64 = clusters.iter().map(|c| pairs_in(c)).sum();
             if total > limit {
-                return None;
+                return (None, Termination::PairBudget);
             }
         }
-        let distinct = if self.threads > 1 && clusters.len() > 1 {
-            parallel_distinct_agree_sets(relation, &clusters, self.threads)
+        let (distinct, termination) = if self.threads > 1 && clusters.len() > 1 {
+            parallel_distinct_agree_sets(relation, &clusters, self.threads, budget)
         } else {
-            sequential_distinct_agree_sets(relation, &clusters)
+            sequential_distinct_agree_sets(relation, &clusters, budget)
         };
         let mut ncover = NCover::new(relation.n_attrs());
         seed_empty_lhs_non_fds(relation, &mut ncover);
         for agree in distinct {
             ncover.add_agree_set(agree);
         }
-        Some(ncover)
+        (Some(ncover), termination)
     }
 }
 
@@ -72,23 +92,30 @@ fn pairs_in(cluster: &[RowId]) -> u64 {
 fn sequential_distinct_agree_sets(
     relation: &Relation,
     clusters: &[Vec<RowId>],
-) -> FastHashSet<AttrSet> {
+    budget: &Budget,
+) -> (FastHashSet<AttrSet>, Termination) {
     let mut seen: FastHashSet<AttrSet> = FastHashSet::default();
+    let mut pairs = 0u64;
     for cluster in clusters {
+        if let Some(t) = budget.poll(pairs, seen.len()) {
+            return (seen, t);
+        }
         for i in 0..cluster.len() {
             for j in i + 1..cluster.len() {
                 seen.insert(relation.agree_set(cluster[i], cluster[j]));
             }
         }
+        pairs += pairs_in(cluster);
     }
-    seen
+    (seen, Termination::Converged)
 }
 
 fn parallel_distinct_agree_sets(
     relation: &Relation,
     clusters: &[Vec<RowId>],
     threads: usize,
-) -> FastHashSet<AttrSet> {
+    budget: &Budget,
+) -> (FastHashSet<AttrSet>, Termination) {
     // Balance chunks by pair count, not cluster count — cluster sizes are
     // heavily skewed and pairs grow quadratically.
     let total: u64 = clusters.iter().map(|c| pairs_in(c)).sum();
@@ -100,33 +127,47 @@ fn parallel_distinct_agree_sets(
             chunks.push(Vec::new());
             acc = 0;
         }
-        chunks.last_mut().expect("non-empty").push(cluster);
+        if let Some(chunk) = chunks.last_mut() {
+            chunk.push(cluster);
+        }
         acc += pairs_in(cluster);
     }
+    // Workers poll the shared budget against a global pair counter per
+    // cluster; the first to trip cancels the token, stopping the siblings.
+    let pairs_done = AtomicU64::new(0);
     let locals: Vec<FastHashSet<AttrSet>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
+                let pairs_done = &pairs_done;
                 scope.spawn(move || {
                     let mut seen: FastHashSet<AttrSet> = FastHashSet::default();
                     for cluster in chunk {
+                        if budget.poll(pairs_done.load(Ordering::Relaxed), 0).is_some() {
+                            break;
+                        }
                         for i in 0..cluster.len() {
                             for j in i + 1..cluster.len() {
                                 seen.insert(relation.agree_set(cluster[i], cluster[j]));
                             }
                         }
+                        pairs_done.fetch_add(pairs_in(cluster), Ordering::Relaxed);
                     }
                     seen
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
     });
     let mut merged: FastHashSet<AttrSet> = FastHashSet::default();
     for local in locals {
         merged.extend(local);
     }
-    merged
+    let termination = budget.token().reason().unwrap_or_default();
+    (merged, termination)
 }
 
 #[cfg(test)]
@@ -152,6 +193,38 @@ mod tests {
         let r = patient();
         assert!(AgreeSetCollector::new().with_pair_limit(1).collect(&r).is_none());
         assert!(AgreeSetCollector::new().with_pair_limit(1_000_000).collect(&r).is_some());
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let r = patient();
+        let plain = AgreeSetCollector::new().collect(&r).unwrap();
+        let (cover, t) = AgreeSetCollector::new().collect_budgeted(&r, &Budget::unlimited());
+        assert_eq!(t, Termination::Converged);
+        assert_eq!(cover.unwrap().len(), plain.len());
+    }
+
+    #[test]
+    fn cancelled_token_stops_collection() {
+        let r = patient();
+        let budget = Budget::unlimited();
+        budget.token().cancel();
+        let (cover, t) = AgreeSetCollector::new().collect_budgeted(&r, &budget);
+        assert_eq!(t, Termination::Cancelled);
+        // Only the ∅-level seeds survive: no cluster was processed.
+        assert!(cover.is_some());
+    }
+
+    #[test]
+    fn parallel_budgeted_converges_like_sequential() {
+        let r = dataset_spec("abalone").unwrap().generate(400);
+        let (seq, ts) = AgreeSetCollector::new().collect_budgeted(&r, &Budget::unlimited());
+        let (par, tp) = AgreeSetCollector::new()
+            .with_threads(4)
+            .collect_budgeted(&r, &Budget::unlimited());
+        assert_eq!(ts, Termination::Converged);
+        assert_eq!(tp, Termination::Converged);
+        assert_eq!(seq.unwrap().len(), par.unwrap().len());
     }
 
     #[test]

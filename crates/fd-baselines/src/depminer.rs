@@ -18,8 +18,13 @@
 //! minimal transversal are non-covers and therefore survive to be joined.
 
 use crate::agree::AgreeSetCollector;
-use fd_core::{AttrId, AttrSet, Fd, FdSet, NCover};
+use fd_core::{AttrId, AttrSet, Budget, Fd, FdSet, Termination};
 use fd_relation::{FdAlgorithm, Relation};
+
+/// Iterations between budget polls inside the Apriori join loop; the join is
+/// quadratic in the surviving level width, so polls must not wait for a
+/// level boundary.
+const POLL_STRIDE: u32 = 64;
 
 /// The Dep-Miner exact discovery algorithm.
 #[derive(Clone, Copy, Debug, Default)]
@@ -40,30 +45,32 @@ impl DepMiner {
         DepMiner { max_pairs: Some(max_pairs) }
     }
 
-    /// Collects maximal agree sets per missing attribute, reusing the
-    /// NCover machinery (a maximal agree set not containing `A` is exactly a
-    /// maximal non-FD LHS for RHS `A`).
-    fn maximal_agree_sets(&self, relation: &Relation) -> Option<NCover> {
+    /// Budgeted anytime discovery. Polls the budget per RHS, per transversal
+    /// level, and every [`POLL_STRIDE`] Apriori joins.
+    ///
+    /// Partial-result semantics mirror FastFDs: a transversal emitted before
+    /// a trip hit *every* complement, so it is a true minimal FD of the
+    /// instance; if collection itself was truncated the complements are
+    /// incomplete, and an empty set is returned with the trip reason.
+    pub fn discover_budgeted(
+        &self,
+        relation: &Relation,
+        budget: &Budget,
+    ) -> (FdSet, Termination) {
+        let m = relation.n_attrs();
         let mut collector = AgreeSetCollector::new();
         collector.max_pairs = self.max_pairs;
-        collector.collect(relation)
-    }
-}
-
-impl FdAlgorithm for DepMiner {
-    fn name(&self) -> &str {
-        "Dep-Miner"
-    }
-
-    fn discover(&self, relation: &Relation) -> FdSet {
-        let m = relation.n_attrs();
-        let ncover = match self.maximal_agree_sets(relation) {
-            Some(n) => n,
-            None => return FdSet::new(),
+        let ncover = match collector.collect_budgeted(relation, budget) {
+            (Some(n), Termination::Converged) => n,
+            (_, Termination::Converged) => return (FdSet::new(), Termination::PairBudget),
+            (_, t) => return (FdSet::new(), t),
         };
         let full = AttrSet::full(m);
         let mut out = FdSet::new();
         for rhs in 0..m as AttrId {
+            if let Some(t) = budget.poll(0, out.len()) {
+                return (out, t);
+            }
             if relation.n_distinct(rhs) <= 1 {
                 out.insert(Fd::new(AttrSet::empty(), rhs));
                 continue;
@@ -77,17 +84,45 @@ impl FdAlgorithm for DepMiner {
             if complements.iter().any(|d| d.is_empty()) {
                 continue; // some pair agrees everywhere else: rhs underivable
             }
-            for lhs in levelwise_transversals(&complements) {
+            let (transversals, tripped) = levelwise_transversals_budgeted(&complements, budget);
+            for lhs in transversals {
                 out.insert(Fd::new(lhs, rhs));
             }
+            if let Some(t) = tripped {
+                return (out, t);
+            }
         }
-        out
+        (out, Termination::Converged)
+    }
+}
+
+impl FdAlgorithm for DepMiner {
+    fn name(&self) -> &str {
+        "Dep-Miner"
+    }
+
+    fn discover(&self, relation: &Relation) -> FdSet {
+        // With an unlimited budget the only possible trip is the structural
+        // pair guard, which returns the legacy empty set.
+        self.discover_budgeted(relation, &Budget::unlimited()).0
     }
 }
 
 /// Level-wise minimal-transversal enumeration (Dep-Miner's
-/// `gen_lhs`/Apriori-style loop).
+/// `gen_lhs`/Apriori-style loop). Production code goes through the budgeted
+/// variant; this unbudgeted form backs the family-level unit tests.
+#[cfg(test)]
 fn levelwise_transversals(complements: &[AttrSet]) -> Vec<AttrSet> {
+    levelwise_transversals_budgeted(complements, &Budget::unlimited()).0
+}
+
+/// [`levelwise_transversals`] with budget polls at each level and every
+/// [`POLL_STRIDE`] joins. On a trip, the covers found so far (each a
+/// validated minimal transversal) are returned with the reason.
+fn levelwise_transversals_budgeted(
+    complements: &[AttrSet],
+    budget: &Budget,
+) -> (Vec<AttrSet>, Option<Termination>) {
     // Attributes that appear in some complement; others can never help.
     let mut universe = AttrSet::empty();
     for d in complements {
@@ -97,7 +132,11 @@ fn levelwise_transversals(complements: &[AttrSet]) -> Vec<AttrSet> {
 
     let mut covers: Vec<AttrSet> = Vec::new();
     let mut level: Vec<AttrSet> = universe.iter().map(AttrSet::single).collect();
+    let mut tick = 0u32;
     while !level.is_empty() {
+        if let Some(t) = budget.poll(0, level.len() + covers.len()) {
+            return (covers, Some(t));
+        }
         // Split the level into covers (emitted, not extended) and the rest.
         let mut rest: Vec<AttrSet> = Vec::new();
         for x in level {
@@ -112,6 +151,12 @@ fn levelwise_transversals(complements: &[AttrSet]) -> Vec<AttrSet> {
         let mut next: Vec<AttrSet> = Vec::new();
         for i in 0..rest.len() {
             for j in i + 1..rest.len() {
+                tick = tick.wrapping_add(1);
+                if tick.is_multiple_of(POLL_STRIDE) {
+                    if let Some(t) = budget.poll_time() {
+                        return (covers, Some(t));
+                    }
+                }
                 let (a, b) = (rest[i], rest[j]);
                 let common = a.intersect(&b);
                 if common.len() != a.len() - 1 {
@@ -131,7 +176,7 @@ fn levelwise_transversals(complements: &[AttrSet]) -> Vec<AttrSet> {
         next.dedup();
         level = next;
     }
-    covers
+    (covers, None)
 }
 
 #[cfg(test)]
@@ -200,5 +245,23 @@ mod tests {
     fn pair_limit_aborts() {
         let r = patient();
         assert!(DepMiner::with_pair_limit(1).discover(&r).is_empty());
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let r = patient();
+        let (fds, t) = DepMiner::new().discover_budgeted(&r, &Budget::unlimited());
+        assert_eq!(t, Termination::Converged);
+        assert_eq!(fds, DepMiner::new().discover(&r));
+    }
+
+    #[test]
+    fn expired_deadline_returns_sound_partial() {
+        use std::time::Duration;
+        let r = patient();
+        let budget = Budget::with_deadline(Duration::ZERO);
+        let (fds, t) = DepMiner::new().discover_budgeted(&r, &budget);
+        assert!(t.is_partial(), "zero deadline must trip");
+        assert!(verify_fds(&r, &fds).is_empty());
     }
 }

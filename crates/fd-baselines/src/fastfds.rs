@@ -19,7 +19,7 @@
 //! per RHS instead of inverting a negative cover.
 
 use crate::agree::AgreeSetCollector;
-use fd_core::{AttrId, AttrSet, Fd, FdSet, LhsTree, NCover};
+use fd_core::{AttrId, AttrSet, Budget, Fd, FdSet, LhsTree, Termination};
 use fd_relation::{FdAlgorithm, Relation};
 
 /// The FastFDs exact discovery algorithm.
@@ -41,30 +41,34 @@ impl FastFds {
         FastFds { max_pairs: Some(max_pairs) }
     }
 
-    /// Collects maximal agree sets per missing attribute, reusing the
-    /// NCover machinery (a maximal agree set not containing `A` is exactly a
-    /// maximal non-FD LHS for RHS `A`).
-    fn maximal_agree_sets(&self, relation: &Relation) -> Option<NCover> {
+    /// Budgeted anytime discovery. Polls the budget per RHS and at every
+    /// DFS node of the cover search.
+    ///
+    /// Partial-result semantics: covers emitted before a trip were each
+    /// validated against the *complete* difference-set family, so they are
+    /// true minimal FDs — only completeness is lost. If the budget trips
+    /// during agree-set collection itself, the difference sets are
+    /// incomplete and any cover computed from them could be a false FD, so
+    /// an empty set is returned with the trip reason.
+    pub fn discover_budgeted(
+        &self,
+        relation: &Relation,
+        budget: &Budget,
+    ) -> (FdSet, Termination) {
+        let m = relation.n_attrs();
         let mut collector = AgreeSetCollector::new();
         collector.max_pairs = self.max_pairs;
-        collector.collect(relation)
-    }
-}
-
-impl FdAlgorithm for FastFds {
-    fn name(&self) -> &str {
-        "FastFDs"
-    }
-
-    fn discover(&self, relation: &Relation) -> FdSet {
-        let m = relation.n_attrs();
-        let ncover = match self.maximal_agree_sets(relation) {
-            Some(n) => n,
-            None => return FdSet::new(),
+        let ncover = match collector.collect_budgeted(relation, budget) {
+            (Some(n), Termination::Converged) => n,
+            (_, Termination::Converged) => return (FdSet::new(), Termination::PairBudget),
+            (_, t) => return (FdSet::new(), t),
         };
         let mut out = FdSet::new();
         let full = AttrSet::full(m);
         for rhs in 0..m as AttrId {
+            if let Some(t) = budget.poll(0, out.len()) {
+                return (out, t);
+            }
             if relation.n_distinct(rhs) <= 1 {
                 // Constant column: ∅ → rhs is the unique minimal FD.
                 out.insert(Fd::new(AttrSet::empty(), rhs));
@@ -82,12 +86,34 @@ impl FdAlgorithm for FastFds {
             }
             let mut covers = LhsTree::new();
             let candidates = full.without(rhs);
-            search_covers(&diff_sets, &diff_sets, candidates, AttrSet::empty(), &mut covers);
+            let tripped = search_covers(
+                &diff_sets,
+                &diff_sets,
+                candidates,
+                AttrSet::empty(),
+                &mut covers,
+                budget,
+            );
             covers.for_each(|lhs| {
                 out.insert(Fd::new(lhs, rhs));
             });
+            if let Some(t) = tripped {
+                return (out, t);
+            }
         }
-        out
+        (out, Termination::Converged)
+    }
+}
+
+impl FdAlgorithm for FastFds {
+    fn name(&self) -> &str {
+        "FastFDs"
+    }
+
+    fn discover(&self, relation: &Relation) -> FdSet {
+        // With an unlimited budget the only possible trip is the structural
+        // pair guard, which returns the legacy empty set.
+        self.discover_budgeted(relation, &Budget::unlimited()).0
     }
 }
 
@@ -95,13 +121,21 @@ impl FdAlgorithm for FastFds {
 /// the partial cover; `allowed` restricts branching so every attribute set
 /// is visited at most once (an attribute is excluded from all later sibling
 /// branches once its own branch has been explored).
+///
+/// The budget is polled at every node; on a trip the search unwinds
+/// immediately, returning the reason. Covers already stored stay valid —
+/// each was checked against the full difference-set family at its leaf.
 fn search_covers(
     all: &[AttrSet],
     remaining: &[AttrSet],
     allowed: AttrSet,
     current: AttrSet,
     covers: &mut LhsTree,
-) {
+    budget: &Budget,
+) -> Option<Termination> {
+    if let Some(t) = budget.poll_time() {
+        return Some(t);
+    }
     if remaining.is_empty() {
         // `current` hits everything; keep it only if it is a *minimal*
         // cover — every member must be the sole hitter of some difference
@@ -113,15 +147,15 @@ fn search_covers(
         if minimal && !covers.contains_subset_of(&current) {
             covers.insert(current);
         }
-        return;
+        return None;
     }
     if allowed.is_empty() {
-        return;
+        return None;
     }
     // A quick dominance prune: a stored cover that is a subset of `current`
     // makes every extension non-minimal.
     if covers.contains_subset_of(&current) {
-        return;
+        return None;
     }
     // Order candidate attributes by how many remaining sets they hit.
     let mut counts: Vec<(usize, AttrId)> = allowed
@@ -134,7 +168,7 @@ fn search_covers(
     // If some remaining set is hit by no allowed attribute, dead end.
     let hittable = |d: &AttrSet| !d.intersect(&allowed).is_empty();
     if !remaining.iter().all(hittable) {
-        return;
+        return None;
     }
     let mut rest_allowed = allowed;
     for (_, attr) in counts {
@@ -143,8 +177,13 @@ fn search_covers(
         rest_allowed.remove(attr);
         let next: Vec<AttrSet> =
             remaining.iter().filter(|d| !d.contains(attr)).copied().collect();
-        search_covers(all, &next, rest_allowed, current.with(attr), covers);
+        if let Some(t) =
+            search_covers(all, &next, rest_allowed, current.with(attr), covers, budget)
+        {
+            return Some(t);
+        }
     }
+    None
 }
 
 #[cfg(test)]
@@ -199,6 +238,33 @@ mod tests {
     fn pair_limit_aborts() {
         let r = patient();
         assert!(FastFds::with_pair_limit(1).discover(&r).is_empty());
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let r = patient();
+        let (fds, t) = FastFds::new().discover_budgeted(&r, &Budget::unlimited());
+        assert_eq!(t, Termination::Converged);
+        assert_eq!(fds, FastFds::new().discover(&r));
+    }
+
+    #[test]
+    fn expired_deadline_returns_sound_partial() {
+        use std::time::Duration;
+        let r = patient();
+        let budget = Budget::with_deadline(Duration::ZERO);
+        let (fds, t) = FastFds::new().discover_budgeted(&r, &budget);
+        assert!(t.is_partial(), "zero deadline must trip");
+        // Anything emitted must be a true FD of the instance.
+        assert!(verify_fds(&r, &fds).is_empty());
+    }
+
+    #[test]
+    fn structural_pair_guard_reports_pair_budget() {
+        let r = patient();
+        let (fds, t) = FastFds::with_pair_limit(1).discover_budgeted(&r, &Budget::unlimited());
+        assert!(fds.is_empty());
+        assert_eq!(t, Termination::PairBudget);
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! algorithm that scales well in rows but explodes in columns — exactly the
 //! behaviour Table III shows (`ML` on *plista*, *flight*, *uniprot*).
 
-use fd_core::{AttrId, AttrSet, Fd, FdSet};
+use fd_core::{AttrId, AttrSet, Budget, Fd, FdSet, Termination};
 use fd_relation::{FdAlgorithm, Partition, ProductScratch, Relation};
 use std::collections::HashMap;
+
+/// How many inner-loop iterations pass between token polls in the budgeted
+/// traversal. Polling is one relaxed atomic load plus (rarely) a clock
+/// read, so the stride mainly bounds the poll *frequency* on fast loops.
+const POLL_STRIDE: u32 = 64;
 
 /// Per-candidate state carried between levels.
 struct Node {
@@ -80,11 +85,35 @@ impl Tane {
     /// Runs discovery; `None` signals the memory guard tripped (reported as
     /// `ML` by the benchmark harness, like the paper's Table III).
     pub fn try_discover(&self, relation: &Relation) -> Option<FdSet> {
+        match self.discover_budgeted(relation, &Budget::unlimited()) {
+            (fds, Termination::Converged) => Some(fds),
+            _ => None,
+        }
+    }
+
+    /// Budgeted anytime traversal. Polls the budget at every lattice level
+    /// and every [`POLL_STRIDE`] candidates inside a level (validation and
+    /// next-level generation both), so a watchdog-cancelled token or a
+    /// passed deadline stops the run between candidates rather than between
+    /// levels — wide schemas can spend minutes inside a single level.
+    ///
+    /// On a trip the FDs validated so far are returned: each was proven
+    /// against the full instance and emitted minimal, so the partial set is
+    /// sound and minimal — only completeness is lost. The structural
+    /// [`Tane::max_level_width`] guard reports as
+    /// [`Termination::MemoryBudget`], as does the budget's cover cap when
+    /// the live lattice level outgrows it.
+    pub fn discover_budgeted(
+        &self,
+        relation: &Relation,
+        budget: &Budget,
+    ) -> (FdSet, Termination) {
         let m = relation.n_attrs();
         let n = relation.n_rows();
         let mut fds = FdSet::new();
         let mut cplus = CPlusMap::new(m);
         let mut scratch = ProductScratch::default();
+        let mut tick = 0u32;
 
         // Level 0: Π_∅ is one cluster of all rows; its error numerator is n−1.
         let mut prev_errors: HashMap<AttrSet, usize> = HashMap::new();
@@ -93,6 +122,9 @@ impl Tane {
         // Level 1.
         let mut current: HashMap<AttrSet, Node> = HashMap::new();
         for a in 0..m as AttrId {
+            if let Some(t) = budget.poll_time() {
+                return (fds, t);
+            }
             let partition = Partition::of_column(relation, a).stripped();
             let error_num = partition.covered_rows() - partition.n_clusters();
             current.insert(AttrSet::single(a), Node { partition, error_num });
@@ -101,8 +133,11 @@ impl Tane {
         while !current.is_empty() {
             if let Some(limit) = self.max_level_width {
                 if current.len() > limit {
-                    return None;
+                    return (fds, Termination::MemoryBudget);
                 }
+            }
+            if let Some(t) = budget.poll(0, current.len() + fds.len()) {
+                return (fds, t);
             }
             let keys: Vec<AttrSet> = current.keys().copied().collect();
 
@@ -110,6 +145,12 @@ impl Tane {
             // X\{A} → A for A ∈ X ∩ C⁺(X).
             let mut level_cplus: HashMap<AttrSet, AttrSet> = HashMap::with_capacity(keys.len());
             for x in &keys {
+                tick = tick.wrapping_add(1);
+                if tick.is_multiple_of(POLL_STRIDE) {
+                    if let Some(t) = budget.poll_time() {
+                        return (fds, t);
+                    }
+                }
                 let mut c = cplus.full;
                 for a in x.iter() {
                     c = c.intersect(&cplus.get(x.without(a)));
@@ -117,7 +158,9 @@ impl Tane {
                 let x_error = current[x].error_num;
                 for a in x.intersect(&c).iter() {
                     let sub = x.without(a);
-                    let sub_error = *prev_errors.get(&sub).expect("subset generated earlier");
+                    // Every ℓ−1 subset was generated (prefix-block closure);
+                    // degrade to "not validated" rather than panic if not.
+                    let Some(&sub_error) = prev_errors.get(&sub) else { continue };
                     if sub_error == x_error {
                         fds.insert(Fd::new(sub, a));
                         c.remove(a);
@@ -170,6 +213,12 @@ impl Tane {
             let mut next: HashMap<AttrSet, Node> = HashMap::new();
             for i in 0..sorted.len() {
                 for j in i + 1..sorted.len() {
+                    tick = tick.wrapping_add(1);
+                    if tick.is_multiple_of(POLL_STRIDE) {
+                        if let Some(t) = budget.poll_time() {
+                            return (fds, t);
+                        }
+                    }
                     let (y1, y2) = (sorted[i], sorted[j]);
                     let common = y1.intersect(&y2);
                     if common.len() != y1.len() - 1 {
@@ -203,7 +252,7 @@ impl Tane {
             prev_errors = this_level_errors;
             current = next;
         }
-        Some(fds)
+        (fds, Termination::Converged)
     }
 }
 
@@ -291,5 +340,40 @@ mod tests {
         let r = patient();
         assert!(Tane::with_level_limit(1).try_discover(&r).is_none());
         assert!(Tane::with_level_limit(1).discover(&r).is_empty());
+        let (_, t) = Tane::with_level_limit(1).discover_budgeted(&r, &Budget::unlimited());
+        assert_eq!(t, Termination::MemoryBudget);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let r = patient();
+        let (fds, t) = Tane::new().discover_budgeted(&r, &Budget::unlimited());
+        assert_eq!(t, Termination::Converged);
+        assert_eq!(fds, Tane::new().discover(&r));
+    }
+
+    #[test]
+    fn expired_deadline_returns_sound_partial() {
+        use std::time::Duration;
+        let r = patient();
+        let budget = Budget::with_deadline(Duration::ZERO);
+        let (fds, t) = Tane::new().discover_budgeted(&r, &budget);
+        assert_eq!(t, Termination::DeadlineExceeded);
+        // Whatever was validated before the trip must hold on the instance.
+        assert!(verify_fds(&r, &fds).is_empty());
+        let truth = Exhaustive.discover(&r);
+        for fd in fds.iter() {
+            assert!(truth.contains(fd), "partial FD {fd:?} must be minimal/true");
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_traversal() {
+        let r = patient();
+        let budget = Budget::unlimited();
+        budget.token().cancel();
+        let (fds, t) = Tane::new().discover_budgeted(&r, &budget);
+        assert_eq!(t, Termination::Cancelled);
+        assert!(verify_fds(&r, &fds).is_empty());
     }
 }

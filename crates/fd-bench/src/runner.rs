@@ -6,10 +6,18 @@
 //! budget for Fdep, lattice width for Tane) and shape-based cost predictions;
 //! runs that would blow past them are reported as `TL`/`ML` without burning
 //! hours, everything else runs for real and is timed.
+//!
+//! On top of the guards, [`Algo::run_isolated`] provides *fault isolation*:
+//! each run executes under `catch_unwind` with an optional deadline enforced
+//! by a [`Watchdog`]-cancelled [`Budget`], so a panicking or runaway
+//! algorithm is recorded as a failed cell and the sweep continues. Budget
+//! trips surface as [`RunOutcome::Partial`] carrying the sound partial FD
+//! set and the [`Termination`] reason.
 
-use fd_core::{Accuracy, FdSet};
+use fd_core::{Accuracy, Budget, DiscoveryError, FdSet, Termination, Watchdog};
 use fd_relation::{FdAlgorithm, Relation};
-use std::time::Instant;
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
 
 /// Outcome of one guarded run.
 #[derive(Clone, Debug)]
@@ -21,6 +29,21 @@ pub enum RunOutcome {
         /// Discovered FDs.
         fds: FdSet,
     },
+    /// A budget tripped mid-run; the partial FD set is sound (every FD was
+    /// validated before the trip) but possibly incomplete.
+    Partial {
+        /// Wall-clock seconds until the trip was observed.
+        secs: f64,
+        /// FDs validated before the trip.
+        fds: FdSet,
+        /// Why the run stopped early.
+        termination: Termination,
+    },
+    /// The run panicked; the harness isolated it and the sweep continued.
+    Panicked {
+        /// The rendered panic message.
+        message: String,
+    },
     /// Predicted or detected to exceed the time budget (paper: `TL`).
     TimeLimit,
     /// Predicted or detected to exceed the memory budget (paper: `ML`).
@@ -28,37 +51,41 @@ pub enum RunOutcome {
 }
 
 impl RunOutcome {
-    /// The runtime as a display cell: seconds, `TL`, or `ML`.
+    /// The runtime as a display cell: seconds (suffixed `*` for a partial
+    /// run), `TL`, `ML`, or `panic`.
     pub fn time_cell(&self) -> String {
         match self {
             RunOutcome::Completed { secs, .. } => format!("{secs:.3}"),
+            RunOutcome::Partial { secs, .. } => format!("{secs:.3}*"),
+            RunOutcome::Panicked { .. } => "panic".to_string(),
             RunOutcome::TimeLimit => "TL".to_string(),
             RunOutcome::MemoryLimit => "ML".to_string(),
         }
     }
 
-    /// FD count as a display cell, `-` if unavailable.
+    /// FD count as a display cell, `-` if unavailable; partial counts are
+    /// suffixed `*`.
     pub fn fds_cell(&self) -> String {
         match self {
             RunOutcome::Completed { fds, .. } => fds.len().to_string(),
+            RunOutcome::Partial { fds, .. } => format!("{}*", fds.len()),
             _ => "-".to_string(),
         }
     }
 
-    /// F1 against a ground truth as a display cell.
+    /// F1 against a ground truth as a display cell. Partial runs are scored
+    /// too — recall loss from truncation is exactly what the cell shows.
     pub fn f1_cell(&self, truth: Option<&FdSet>) -> String {
-        match (self, truth) {
-            (RunOutcome::Completed { fds, .. }, Some(t)) => {
-                format!("{:.3}", Accuracy::of(fds, t).f1)
-            }
+        match (self.fds(), truth) {
+            (Some(fds), Some(t)) => format!("{:.3}", Accuracy::of(fds, t).f1),
             _ => "-".to_string(),
         }
     }
 
-    /// The discovered FDs, if the run completed.
+    /// The discovered FDs, if the run produced any (complete or partial).
     pub fn fds(&self) -> Option<&FdSet> {
         match self {
-            RunOutcome::Completed { fds, .. } => Some(fds),
+            RunOutcome::Completed { fds, .. } | RunOutcome::Partial { fds, .. } => Some(fds),
             _ => None,
         }
     }
@@ -68,6 +95,50 @@ impl RunOutcome {
         match self {
             RunOutcome::Completed { secs, .. } => Some(*secs),
             _ => None,
+        }
+    }
+
+    /// The [`Termination`] this outcome corresponds to in reports.
+    pub fn termination(&self) -> Termination {
+        match self {
+            RunOutcome::Completed { .. } => Termination::Converged,
+            RunOutcome::Partial { termination, .. } => *termination,
+            RunOutcome::Panicked { .. } => Termination::Panicked,
+            RunOutcome::TimeLimit => Termination::DeadlineExceeded,
+            RunOutcome::MemoryLimit => Termination::MemoryBudget,
+        }
+    }
+}
+
+/// Per-run isolation policy for [`Algo::run_isolated`] and
+/// [`run_isolated_algorithm`]: an optional wall-clock deadline (enforced
+/// cooperatively through the run's [`Budget`] and, belt-and-braces, by a
+/// [`Watchdog`] thread cancelling the shared token) and a bounded number of
+/// retries after a panic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunGuard {
+    /// Cancel the run this long after it starts; `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// How many times to retry after a panic (0 = record the first one).
+    pub panic_retries: u32,
+}
+
+impl RunGuard {
+    /// A guard with a deadline and no retries.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        RunGuard { deadline: Some(deadline), panic_retries: 0 }
+    }
+
+    /// Builder: retry up to `n` times after a panic.
+    pub fn panic_retries(mut self, n: u32) -> Self {
+        self.panic_retries = n;
+        self
+    }
+
+    fn budget(&self) -> Budget {
+        match self.deadline {
+            Some(d) => Budget::with_deadline(d),
+            None => Budget::unlimited(),
         }
     }
 }
@@ -102,10 +173,55 @@ impl Algo {
         }
     }
 
-    /// Runs the algorithm with its guards.
+    /// Runs the algorithm with its structural guards and panic isolation,
+    /// without a deadline. Legacy entry point: every pre-existing caller
+    /// goes through here and sees the exact outcomes it always did, plus
+    /// `Panicked` instead of a process abort.
     pub fn run(&self, relation: &Relation) -> RunOutcome {
+        self.run_isolated(relation, RunGuard::default())
+    }
+
+    /// Runs the algorithm under `guard`: the body executes inside
+    /// `catch_unwind`, a watchdog thread cancels the run's budget token at
+    /// the deadline, and panics are retried up to `guard.panic_retries`
+    /// times before being recorded as [`RunOutcome::Panicked`]. Each attempt
+    /// gets a fresh budget (the token is sticky once cancelled).
+    pub fn run_isolated(&self, relation: &Relation, guard: RunGuard) -> RunOutcome {
+        let mut last_panic = String::new();
+        for _ in 0..=guard.panic_retries {
+            let budget = guard.budget();
+            let watchdog =
+                guard.deadline.map(|d| Watchdog::arm(budget.token().clone(), d));
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.run_budgeted(relation, &budget)
+            }));
+            drop(watchdog);
+            match result {
+                Ok(outcome) => return outcome,
+                Err(payload) => {
+                    last_panic = match DiscoveryError::from_panic(payload.as_ref()) {
+                        DiscoveryError::Panicked { message } => message,
+                        other => other.to_string(),
+                    };
+                }
+            }
+        }
+        RunOutcome::Panicked { message: last_panic }
+    }
+
+    /// Runs the algorithm with its structural guards under an explicit
+    /// budget (no `catch_unwind` — see [`Algo::run_isolated`] for that).
+    ///
+    /// Budget-aware algorithms (Tane, EulerFD) poll the budget and return
+    /// partial results on a trip; the others (Fdep, HyFD, AID-FD) only
+    /// observe an already-cancelled token before starting. An unlimited
+    /// budget reproduces the legacy outcomes bit-for-bit.
+    pub fn run_budgeted(&self, relation: &Relation, budget: &Budget) -> RunOutcome {
         let rows = relation.n_rows() as u64;
         let cols = relation.n_attrs() as u64;
+        if let Some(reason) = budget.token().reason() {
+            return RunOutcome::Partial { secs: 0.0, fds: FdSet::new(), termination: reason };
+        }
         match self {
             Algo::Tane => {
                 // Tane's lattice explodes in columns; the paper records ML on
@@ -119,11 +235,20 @@ impl Algo {
                 }
                 let tane = fd_baselines::Tane::with_level_limit(2_000_000);
                 let start = Instant::now();
-                match tane.try_discover(relation) {
-                    Some(fds) => {
+                match tane.discover_budgeted(relation, budget) {
+                    (fds, Termination::Converged) => {
                         RunOutcome::Completed { secs: start.elapsed().as_secs_f64(), fds }
                     }
-                    None => RunOutcome::MemoryLimit,
+                    // With no live budget the only trip is the structural
+                    // width guard: the legacy ML cell.
+                    (_, Termination::MemoryBudget) if budget.is_unlimited() => {
+                        RunOutcome::MemoryLimit
+                    }
+                    (fds, termination) => RunOutcome::Partial {
+                        secs: start.elapsed().as_secs_f64(),
+                        fds,
+                        termination,
+                    },
                 }
             }
             Algo::Fdep => {
@@ -158,11 +283,49 @@ impl Algo {
             }
             Algo::EulerFd => {
                 let start = Instant::now();
-                let fds = eulerfd::EulerFd::new().discover(relation);
-                RunOutcome::Completed { secs: start.elapsed().as_secs_f64(), fds }
+                let (fds, report) = eulerfd::EulerFd::new().discover_budgeted(relation, budget);
+                if report.termination.is_partial() {
+                    RunOutcome::Partial {
+                        secs: start.elapsed().as_secs_f64(),
+                        fds,
+                        termination: report.termination,
+                    }
+                } else {
+                    RunOutcome::Completed { secs: start.elapsed().as_secs_f64(), fds }
+                }
             }
         }
     }
+}
+
+/// [`Algo::run_isolated`] for an arbitrary [`FdAlgorithm`]: times the run,
+/// catches panics, and retries per the guard. The deadline is advisory here
+/// — a plain `FdAlgorithm` has no budget to poll, so the watchdog cannot
+/// stop it cooperatively; the guard still bounds budget-aware algorithms
+/// invoked through their trait object and still isolates panics, which is
+/// what sweep code needs to survive a hostile cell.
+pub fn run_isolated_algorithm(
+    algo: &dyn FdAlgorithm,
+    relation: &Relation,
+    guard: RunGuard,
+) -> RunOutcome {
+    let mut last_panic = String::new();
+    for _ in 0..=guard.panic_retries {
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| algo.discover(relation)));
+        match result {
+            Ok(fds) => {
+                return RunOutcome::Completed { secs: start.elapsed().as_secs_f64(), fds }
+            }
+            Err(payload) => {
+                last_panic = match DiscoveryError::from_panic(payload.as_ref()) {
+                    DiscoveryError::Panicked { message } => message,
+                    other => other.to_string(),
+                };
+            }
+        }
+    }
+    RunOutcome::Panicked { message: last_panic }
 }
 
 /// Computes the exact FD set to score approximate algorithms against,
@@ -217,5 +380,89 @@ mod tests {
         let done = RunOutcome::Completed { secs: 1.2345, fds: FdSet::new() };
         assert_eq!(done.time_cell(), "1.234");
         assert_eq!(done.fds_cell(), "0");
+        let partial = RunOutcome::Partial {
+            secs: 0.5,
+            fds: FdSet::new(),
+            termination: Termination::DeadlineExceeded,
+        };
+        assert_eq!(partial.time_cell(), "0.500*");
+        assert_eq!(partial.fds_cell(), "0*");
+        assert_eq!(partial.termination(), Termination::DeadlineExceeded);
+        let dead = RunOutcome::Panicked { message: "boom".into() };
+        assert_eq!(dead.time_cell(), "panic");
+        assert_eq!(dead.termination(), Termination::Panicked);
+    }
+
+    /// An algorithm that always panics — a stand-in for a buggy baseline.
+    struct Bomb;
+    impl FdAlgorithm for Bomb {
+        fn name(&self) -> &str {
+            "Bomb"
+        }
+        fn discover(&self, _relation: &Relation) -> FdSet {
+            panic!("injected fault")
+        }
+    }
+
+    /// Panics on the first call, succeeds afterwards.
+    struct FlakyOnce(std::sync::atomic::AtomicU32);
+    impl FdAlgorithm for FlakyOnce {
+        fn name(&self) -> &str {
+            "FlakyOnce"
+        }
+        fn discover(&self, relation: &Relation) -> FdSet {
+            if self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0 {
+                panic!("transient fault");
+            }
+            fd_baselines::Tane::new().discover(relation)
+        }
+    }
+
+    #[test]
+    fn panicking_algorithm_is_recorded_not_fatal() {
+        let r = patient();
+        let out = run_isolated_algorithm(&Bomb, &r, RunGuard::default());
+        match out {
+            RunOutcome::Panicked { message } => assert_eq!(message, "injected fault"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The sweep can keep going: a healthy run afterwards still works.
+        assert!(Algo::Tane.run(&r).fds().is_some());
+    }
+
+    #[test]
+    fn panic_retry_recovers_transient_faults() {
+        let r = patient();
+        let flaky = FlakyOnce(std::sync::atomic::AtomicU32::new(0));
+        let out = run_isolated_algorithm(&flaky, &r, RunGuard::default().panic_retries(1));
+        assert!(out.fds().is_some(), "retry should recover: {out:?}");
+        let flaky2 = FlakyOnce(std::sync::atomic::AtomicU32::new(0));
+        let out2 = run_isolated_algorithm(&flaky2, &r, RunGuard::default());
+        assert!(matches!(out2, RunOutcome::Panicked { .. }), "no retries: {out2:?}");
+    }
+
+    #[test]
+    fn precancelled_budget_yields_empty_partial() {
+        let r = patient();
+        let budget = Budget::unlimited();
+        budget.token().cancel();
+        let out = Algo::EulerFd.run_budgeted(&r, &budget);
+        match out {
+            RunOutcome::Partial { fds, termination, .. } => {
+                assert!(fds.is_empty());
+                assert_eq!(termination, Termination::Cancelled);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_isolated_run_matches_legacy() {
+        let r = patient();
+        for algo in Algo::ALL {
+            let legacy = algo.run_budgeted(&r, &Budget::unlimited());
+            let isolated = algo.run_isolated(&r, RunGuard::default());
+            assert_eq!(legacy.fds(), isolated.fds(), "{}", algo.name());
+        }
     }
 }

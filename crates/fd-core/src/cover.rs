@@ -6,6 +6,7 @@
 //! obtain non-FDs, not in how covers are stored and inverted.
 
 use crate::attrset::{AttrId, AttrSet};
+use crate::budget::CancelToken;
 use crate::fd::{Fd, FdSet};
 use crate::lhs_tree::LhsTree;
 
@@ -204,6 +205,31 @@ impl PCover {
     ///
     /// Drains `non_fds` and returns the summed churn.
     pub fn invert_batch(&mut self, non_fds: &mut Vec<Fd>, threads: usize) -> InvertDelta {
+        self.invert_batch_inner(non_fds, threads, None)
+    }
+
+    /// [`PCover::invert_batch`] with cooperative cancellation: each shard
+    /// checks `token` between non-FDs and stops early once it is cancelled.
+    /// Non-FDs not yet processed are left in `non_fds` (most specialized
+    /// first), so the caller can decide between finishing the drain later
+    /// (restoring soundness w.r.t. all sampled pairs) and abandoning it.
+    /// With a never-cancelled token this is byte-identical to
+    /// [`PCover::invert_batch`].
+    pub fn invert_batch_cancellable(
+        &mut self,
+        non_fds: &mut Vec<Fd>,
+        threads: usize,
+        token: &CancelToken,
+    ) -> InvertDelta {
+        self.invert_batch_inner(non_fds, threads, Some(token))
+    }
+
+    fn invert_batch_inner(
+        &mut self,
+        non_fds: &mut Vec<Fd>,
+        threads: usize,
+        token: Option<&CancelToken>,
+    ) -> InvertDelta {
         let n = self.n_attrs();
         // Stable sort: within one RHS, equal-length non-FDs keep arrival
         // order, exactly like the sequential sort-then-drain loop.
@@ -228,10 +254,21 @@ impl PCover {
             threads.max(1).min(jobs.len().max(1))
         };
         let mut delta = InvertDelta::default();
+        // Work items a cancelled shard did not get to, pushed back into
+        // `non_fds` after the (possibly parallel) drain.
+        let mut leftovers: Vec<(AttrId, Vec<AttrSet>)> = Vec::new();
         if workers <= 1 {
-            for (rhs, tree, work) in jobs {
-                for lhs in work {
+            for (rhs, tree, mut work) in jobs {
+                let mut unprocessed = Vec::new();
+                for lhs in work.drain(..) {
+                    if token.is_some_and(|t| t.is_cancelled()) {
+                        unprocessed.push(lhs);
+                        continue;
+                    }
                     delta += invert_into_tree(tree, n, rhs, &lhs);
+                }
+                if !unprocessed.is_empty() {
+                    leftovers.push((rhs, unprocessed));
                 }
             }
         } else {
@@ -242,19 +279,40 @@ impl PCover {
                     .map(|job_chunk| {
                         s.spawn(move || {
                             let mut local = InvertDelta::default();
+                            let mut local_left: Vec<(AttrId, Vec<AttrSet>)> = Vec::new();
                             for (rhs, tree, work) in job_chunk {
+                                let mut unprocessed = Vec::new();
                                 for lhs in work.drain(..) {
+                                    if token.is_some_and(|t| t.is_cancelled()) {
+                                        unprocessed.push(lhs);
+                                        continue;
+                                    }
                                     local += invert_into_tree(tree, n, *rhs, &lhs);
                                 }
+                                if !unprocessed.is_empty() {
+                                    local_left.push((*rhs, unprocessed));
+                                }
                             }
-                            local
+                            (local, local_left)
                         })
                     })
                     .collect();
                 for handle in handles {
-                    delta += handle.join().expect("inversion worker panicked");
+                    match handle.join() {
+                        Ok((local, local_left)) => {
+                            delta += local;
+                            leftovers.extend(local_left);
+                        }
+                        // Re-raise the worker's own panic instead of a
+                        // generic secondary one: `catch_unwind` in the bench
+                        // runner then reports the original message.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
             });
+        }
+        for (rhs, work) in leftovers {
+            non_fds.extend(work.into_iter().map(|lhs| Fd::new(lhs, rhs)));
         }
         self.len = self.len + delta.added - delta.removed;
         delta
@@ -433,6 +491,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cancellable_inversion_with_live_token_matches_plain() {
+        let mut nc = NCover::new(6);
+        for mask in [0b0011u16, 0b0110, 0b1100, 0b1010, 0b10001, 0b11000] {
+            nc.add_agree_set(AttrSet::from_attrs((0..6u16).filter(|a| mask & (1 << a) != 0)));
+        }
+        let mut plain = PCover::initialized(6);
+        let mut fds = nc.to_fds();
+        plain.invert_batch(&mut fds, 2);
+        let mut cancellable = PCover::initialized(6);
+        let mut fds2 = nc.to_fds();
+        let token = crate::budget::CancelToken::new();
+        let delta = cancellable.invert_batch_cancellable(&mut fds2, 2, &token);
+        assert!(fds2.is_empty(), "uncancelled run drains everything");
+        assert_eq!(plain.to_fdset(), cancellable.to_fdset());
+        assert_eq!(plain.len(), cancellable.len());
+        assert!(delta.churn() > 0);
+    }
+
+    #[test]
+    fn precancelled_inversion_keeps_all_work() {
+        let mut nc = NCover::new(4);
+        nc.add_agree_set(s(&[0, 1]));
+        nc.add_agree_set(s(&[1, 2]));
+        let mut pc = PCover::initialized(4);
+        let mut fds = nc.to_fds();
+        let expected = fds.len();
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let delta = pc.invert_batch_cancellable(&mut fds, 1, &token);
+        // Nothing was processed; every non-FD survives for a later drain and
+        // the cover is untouched (still the most general candidates).
+        assert_eq!(fds.len(), expected);
+        assert_eq!(delta, InvertDelta::default());
+        assert_eq!(pc.len(), 4);
+        // Finishing the drain afterwards converges to the exact cover.
+        pc.invert_batch(&mut fds, 1);
+        assert_eq!(pc.to_fdset(), invert_ncover(&nc).to_fdset());
     }
 
     #[test]

@@ -155,7 +155,11 @@ impl LhsTree {
                     // Split on a distinguishing attribute (smallest id in the
                     // symmetric difference); the set containing it goes right.
                     let sym = existing.difference(&lhs).union(&lhs.difference(&existing));
-                    let attr = sym.first().expect("sets differ");
+                    let Some(attr) = sym.first() else {
+                        // Unreachable (the equality check above returned),
+                        // but an equal set is simply already present.
+                        return false;
+                    };
                     let new_leaf = self.alloc(Node::Leaf(lhs));
                     let (with, without) =
                         if existing.contains(attr) { (cur, new_leaf) } else { (new_leaf, cur) };

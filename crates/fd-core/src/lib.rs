@@ -28,10 +28,15 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code reports failures through `DiscoveryError` / partial results;
+// unwraps are confined to test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod attrset;
+pub mod budget;
 pub mod closure;
 pub mod cover;
+pub mod error;
 pub mod fd;
 pub mod fd_tree;
 pub mod hash;
@@ -41,6 +46,8 @@ pub mod metrics;
 pub mod naive;
 
 pub use attrset::{AttrId, AttrSet, MAX_ATTRS};
+pub use budget::{Budget, CancelToken, Termination, Watchdog};
+pub use error::DiscoveryError;
 pub use closure::{bcnf_violations, candidate_keys, closure, equivalent, implies, non_redundant_cover};
 pub use cover::{invert_ncover, invert_ncover_parallel, InvertDelta, NCover, PCover};
 pub use fd::{Fd, FdSet};

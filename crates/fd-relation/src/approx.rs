@@ -53,7 +53,12 @@ pub fn g3_error(relation: &Relation, lhs: &AttrSet, rhs: AttrId) -> f64 {
 /// `Π̂_lhs` by folding single-attribute stripped partitions.
 fn lhs_partition(relation: &Relation, lhs: &AttrSet) -> Partition {
     let mut attrs = lhs.iter();
-    let first = attrs.next().expect("non-empty LHS");
+    let Some(first) = attrs.next() else {
+        // Empty LHS: Π_∅ is one cluster of all rows. g3_error short-circuits
+        // this case, but keep the function total.
+        let all: Vec<crate::relation::RowId> = (0..relation.n_rows() as u32).collect();
+        return Partition::from_clusters(vec![all], relation.n_rows());
+    };
     let mut p = Partition::of_column(relation, first).stripped();
     for a in attrs {
         p = p.product(&Partition::of_column(relation, a).stripped());

@@ -30,6 +30,11 @@ pub enum CsvError {
         /// 1-based physical row number where the field started.
         row: usize,
     },
+    /// A field held bytes that are not valid UTF-8.
+    InvalidUtf8 {
+        /// 1-based physical row number where the logical row started.
+        row: usize,
+    },
     /// The input contained no rows at all.
     Empty,
 }
@@ -43,6 +48,9 @@ impl fmt::Display for CsvError {
             }
             CsvError::UnterminatedQuote { row } => {
                 write!(f, "row {row}: unterminated quoted field")
+            }
+            CsvError::InvalidUtf8 { row } => {
+                write!(f, "row {row}: field is not valid UTF-8")
             }
             CsvError::Empty => write!(f, "input contains no rows"),
         }
@@ -70,6 +78,19 @@ pub enum NullPolicy {
     NullNotEquals,
 }
 
+/// What to do with a row whose field count differs from the header's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RaggedPolicy {
+    /// Fail the whole parse (strict RFC-4180; the default).
+    #[default]
+    Error,
+    /// Drop the row, recording a [`RowIssue`].
+    Skip,
+    /// Keep the row: pad short rows with nulls, truncate long ones; either
+    /// way a [`RowIssue`] is recorded.
+    Pad,
+}
+
 /// Options controlling CSV parsing.
 #[derive(Clone, Debug)]
 pub struct CsvOptions {
@@ -83,6 +104,8 @@ pub struct CsvOptions {
     pub null_token: Option<String>,
     /// Equality semantics for nulls.
     pub null_policy: NullPolicy,
+    /// Handling of rows with the wrong field count.
+    pub on_ragged: RaggedPolicy,
 }
 
 impl Default for CsvOptions {
@@ -92,19 +115,67 @@ impl Default for CsvOptions {
             has_header: true,
             null_token: None,
             null_policy: NullPolicy::NullEqualsNull,
+            on_ragged: RaggedPolicy::Error,
         }
     }
 }
 
+/// What a permissive ragged-row policy did to one row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowAction {
+    /// The row was dropped ([`RaggedPolicy::Skip`]).
+    Skipped,
+    /// The row was extended to full width with nulls ([`RaggedPolicy::Pad`]).
+    Padded,
+    /// The row's surplus fields were cut off ([`RaggedPolicy::Pad`]).
+    Truncated,
+}
+
+/// Per-row diagnostic emitted by a permissive ingestion run.
+#[derive(Clone, Debug)]
+pub struct RowIssue {
+    /// 1-based row number (header included in the count).
+    pub row: usize,
+    /// Fields found in the row.
+    pub found: usize,
+    /// Fields expected from the header.
+    pub expected: usize,
+    /// What was done with the row.
+    pub action: RowAction,
+}
+
+/// Summary of an ingestion run: how many data rows were seen, how many made
+/// it into the relation, and what happened to the ones that did not arrive
+/// intact.
+#[derive(Clone, Debug, Default)]
+pub struct IngestReport {
+    /// Data rows read from the input (excluding the header).
+    pub rows_read: usize,
+    /// Data rows that ended up in the relation.
+    pub rows_kept: usize,
+    /// One entry per malformed row the policy handled.
+    pub issues: Vec<RowIssue>,
+}
+
 /// Reads a dictionary-encoded [`Relation`] from a CSV file.
 pub fn read_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Relation, CsvError> {
+    read_csv_file_with_report(path, options).map(|(relation, _)| relation)
+}
+
+/// [`read_csv_file`] returning the per-row [`IngestReport`] as well.
+pub fn read_csv_file_with_report(
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+) -> Result<(Relation, IngestReport), CsvError> {
     let path = path.as_ref();
     let name = path
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "csv".to_owned());
+    // The raw file goes straight in: read_csv_with_report adds the single
+    // BufReader layer.
     let file = File::open(path)?;
-    read_csv(BufReader::new(file), &name, options)
+    read_csv_with_report(file, &name, options)
 }
 
 /// Reads a dictionary-encoded [`Relation`] from any reader.
@@ -113,7 +184,19 @@ pub fn read_csv<R: Read>(
     name: &str,
     options: &CsvOptions,
 ) -> Result<Relation, CsvError> {
-    let mut rows = CsvRows::new(reader, options.separator);
+    read_csv_with_report(reader, name, options).map(|(relation, _)| relation)
+}
+
+/// [`read_csv`] returning the per-row [`IngestReport`] as well. With
+/// [`RaggedPolicy::Error`] (the default) the report never carries issues —
+/// the first malformed row fails the parse; the permissive policies record
+/// what they skipped, padded, or truncated.
+pub fn read_csv_with_report<R: Read>(
+    reader: R,
+    name: &str,
+    options: &CsvOptions,
+) -> Result<(Relation, IngestReport), CsvError> {
+    let mut rows = CsvRows::new(BufReader::new(reader), options.separator);
     let first = match rows.next_row()? {
         Some(row) => row,
         None => return Err(CsvError::Empty),
@@ -132,9 +215,10 @@ pub fn read_csv<R: Read>(
     let is_null = |field: &str| {
         field.is_empty() || options.null_token.as_deref() == Some(field)
     };
+    let mut report = IngestReport::default();
     let mut row_no = 1usize;
     loop {
-        let row = match pending.take() {
+        let mut row = match pending.take() {
             Some(r) => r,
             None => match rows.next_row()? {
                 Some(r) => r,
@@ -142,36 +226,68 @@ pub fn read_csv<R: Read>(
             },
         };
         row_no += 1;
+        report.rows_read += 1;
         if row.len() != width {
-            return Err(CsvError::RaggedRow { row: row_no, found: row.len(), expected: width });
+            let found = row.len();
+            match options.on_ragged {
+                RaggedPolicy::Error => {
+                    return Err(CsvError::RaggedRow { row: row_no, found, expected: width });
+                }
+                RaggedPolicy::Skip => {
+                    report.issues.push(RowIssue {
+                        row: row_no,
+                        found,
+                        expected: width,
+                        action: RowAction::Skipped,
+                    });
+                    continue;
+                }
+                RaggedPolicy::Pad => {
+                    let action = if found < width {
+                        row.resize(width, String::new());
+                        RowAction::Padded
+                    } else {
+                        row.truncate(width);
+                        RowAction::Truncated
+                    };
+                    report.issues.push(RowIssue { row: row_no, found, expected: width, action });
+                }
+            }
         }
         let cells: Vec<Option<&str>> =
             row.iter().map(|f| if is_null(f) { None } else { Some(f.as_str()) }).collect();
         builder.push_nullable_row(&cells, labeling);
+        report.rows_kept += 1;
     }
-    Ok(builder.finish())
+    Ok((builder.finish(), report))
 }
 
-/// Streaming CSV row reader.
-struct CsvRows<R: Read> {
-    reader: BufReader<R>,
+/// Streaming CSV row reader over an already-buffered source (the callers add
+/// exactly one [`BufReader`] layer; stacking another here would double the
+/// copy on every line).
+struct CsvRows<R: BufRead> {
+    reader: R,
     separator: u8,
     row: usize,
     done: bool,
 }
 
-impl<R: Read> CsvRows<R> {
+impl<R: BufRead> CsvRows<R> {
     fn new(reader: R, separator: u8) -> Self {
-        CsvRows { reader: BufReader::new(reader), separator, row: 0, done: false }
+        CsvRows { reader, separator, row: 0, done: false }
     }
 
     /// Returns the next logical row, honouring quotes that span lines.
+    ///
+    /// Fields accumulate as raw bytes and are decoded once complete, so
+    /// multi-byte UTF-8 sequences survive intact (pushing each byte as a
+    /// `char` would re-encode `é` as two mojibake characters).
     fn next_row(&mut self) -> Result<Option<Vec<String>>, CsvError> {
         if self.done {
             return Ok(None);
         }
         let mut fields: Vec<String> = Vec::new();
-        let mut field = String::new();
+        let mut field = Vec::new();
         let mut in_quotes = false;
         let mut saw_any = false;
         let start_row = self.row + 1;
@@ -186,7 +302,7 @@ impl<R: Read> CsvRows<R> {
                 if !saw_any {
                     return Ok(None);
                 }
-                fields.push(std::mem::take(&mut field));
+                fields.push(finish_field(&mut field, start_row)?);
                 return Ok(Some(fields));
             }
             self.row += 1;
@@ -201,30 +317,36 @@ impl<R: Read> CsvRows<R> {
                     if b == b'"' {
                         if bytes.peek() == Some(&b'"') {
                             bytes.next();
-                            field.push('"');
+                            field.push(b'"');
                         } else {
                             in_quotes = false;
                         }
                     } else {
-                        field.push(b as char);
+                        field.push(b);
                     }
                 } else if b == b'"' && field.is_empty() {
                     in_quotes = true;
                 } else if b == self.separator {
-                    fields.push(std::mem::take(&mut field));
+                    fields.push(finish_field(&mut field, start_row)?);
                 } else {
-                    field.push(b as char);
+                    field.push(b);
                 }
             }
             if in_quotes {
                 // Quoted field continues on the next physical line.
-                field.push('\n');
+                field.push(b'\n');
                 continue;
             }
-            fields.push(std::mem::take(&mut field));
+            fields.push(finish_field(&mut field, start_row)?);
             return Ok(Some(fields));
         }
     }
+}
+
+/// Decodes a completed field's bytes, mapping bad encodings to
+/// [`CsvError::InvalidUtf8`] with the row the logical record started on.
+fn finish_field(field: &mut Vec<u8>, row: usize) -> Result<String, CsvError> {
+    String::from_utf8(std::mem::take(field)).map_err(|_| CsvError::InvalidUtf8 { row })
 }
 
 /// Writes raw string rows as CSV, quoting fields when needed. Used by the
@@ -386,6 +508,91 @@ mod tests {
         let r = read_csv("a;b\n1;2\n".as_bytes(), "t", &opts).unwrap();
         assert_eq!(r.n_attrs(), 2);
         assert_eq!(r.n_rows(), 1);
+    }
+
+    #[test]
+    fn non_ascii_fields_survive_intact() {
+        // Multi-byte UTF-8 (2-, 3-, and 4-byte sequences) in plain and
+        // quoted fields must round-trip byte-for-byte. Header names are the
+        // directly observable parse output; byte-at-a-time `as char`
+        // decoding would mangle every one of them into mojibake.
+        let data = "café,\"日本語, quoted\",𝄞clef\n1,2,3\n1,2,3\n";
+        let r = read_csv(data.as_bytes(), "t", &CsvOptions::default()).unwrap();
+        assert_eq!(
+            r.column_names(),
+            &["café".to_string(), "日本語, quoted".into(), "𝄞clef".into()]
+        );
+        assert_eq!(r.n_rows(), 2);
+    }
+
+    #[test]
+    fn non_ascii_null_token_matches_fields() {
+        // Data-cell bytes must decode exactly too: a non-ASCII null token
+        // only matches if the field survived without re-encoding.
+        let opts = CsvOptions { null_token: Some("é?".to_string()), ..Default::default() };
+        let r = read_csv("a,b\n1,é?\n2,é?\n3,x\n".as_bytes(), "t", &opts).unwrap();
+        assert_eq!(r.n_distinct(1), 2, "the two null cells must share one label");
+        assert_eq!(r.label(0, 1), r.label(1, 1));
+        assert_ne!(r.label(0, 1), r.label(2, 1));
+    }
+
+    #[test]
+    fn written_non_ascii_roundtrips_through_the_parser() {
+        let header = vec!["naïve".to_string(), "日本".to_string()];
+        let rows = vec![vec!["é,è".to_string(), "ü\nö".to_string()]];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &header, rows.into_iter(), b',').unwrap();
+        let r = read_csv(&buf[..], "rt", &CsvOptions::default()).unwrap();
+        assert_eq!(r.column_names(), &header[..]);
+        assert_eq!(r.n_rows(), 1);
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error_with_row_number() {
+        let mut data = b"a,b\nok,fine\n".to_vec();
+        data.extend_from_slice(&[0xFF, 0xFE, b',', b'x', b'\n']);
+        let err = read_csv(&data[..], "t", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::InvalidUtf8 { row: 3 }), "{err:?}");
+    }
+
+    #[test]
+    fn ragged_skip_drops_rows_and_reports_them() {
+        let opts = CsvOptions { on_ragged: RaggedPolicy::Skip, ..Default::default() };
+        let (r, report) =
+            read_csv_with_report("a,b\n1,2\n3\n4,5,6\n7,8\n".as_bytes(), "t", &opts).unwrap();
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(report.rows_read, 4);
+        assert_eq!(report.rows_kept, 2);
+        assert_eq!(report.issues.len(), 2);
+        assert_eq!(report.issues[0].row, 3);
+        assert_eq!(report.issues[0].found, 1);
+        assert_eq!(report.issues[0].action, RowAction::Skipped);
+        assert_eq!(report.issues[1].row, 4);
+        assert_eq!(report.issues[1].found, 3);
+    }
+
+    #[test]
+    fn ragged_pad_keeps_rows_with_nulls_and_truncation() {
+        let opts = CsvOptions { on_ragged: RaggedPolicy::Pad, ..Default::default() };
+        let (r, report) =
+            read_csv_with_report("a,b\n1,2\n3\n4,5,6\n".as_bytes(), "t", &opts).unwrap();
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(report.rows_kept, 3);
+        assert_eq!(report.issues.len(), 2);
+        assert_eq!(report.issues[0].action, RowAction::Padded);
+        assert_eq!(report.issues[1].action, RowAction::Truncated);
+        // The padded cell behaves as a null: shares a label with nothing
+        // non-null in column b.
+        assert_eq!(r.n_attrs(), 2);
+    }
+
+    #[test]
+    fn strict_parse_has_clean_report() {
+        let (_, report) =
+            read_csv_with_report("a,b\n1,2\n".as_bytes(), "t", &CsvOptions::default()).unwrap();
+        assert_eq!(report.rows_read, 1);
+        assert_eq!(report.rows_kept, 1);
+        assert!(report.issues.is_empty());
     }
 
     #[test]

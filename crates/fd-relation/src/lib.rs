@@ -22,6 +22,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code reports failures through structured errors; `unwrap`/`expect`
+// stay legal in tests only.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod approx;
 pub mod csv;
@@ -32,7 +35,10 @@ pub mod relation;
 pub mod synth;
 
 pub use approx::{g3_error, g3_of, g3_report, G3Report};
-pub use csv::{read_csv, read_csv_file, write_csv, CsvError, CsvOptions, NullPolicy};
+pub use csv::{
+    read_csv, read_csv_file, read_csv_file_with_report, read_csv_with_report, write_csv,
+    CsvError, CsvOptions, IngestReport, NullPolicy, RaggedPolicy, RowAction, RowIssue,
+};
 pub use discovery::{verify_fds, FdAlgorithm};
 pub use partition::{sampling_clusters, sampling_clusters_parallel, Partition, ProductScratch};
 pub use profile::{profile, ColumnProfile, RelationProfile};

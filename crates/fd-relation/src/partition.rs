@@ -196,7 +196,11 @@ pub fn sampling_clusters_parallel(relation: &Relation, threads: usize) -> Vec<Ve
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("partition worker panicked"))
+                .flat_map(|h| {
+                    // Re-raise worker panics on the caller's thread so the
+                    // bench harness's catch_unwind isolation sees them.
+                    h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         })
     };

@@ -331,7 +331,9 @@ impl RowMajor {
             // Join barrier: merge per-worker results and counters in plan
             // order so the fold downstream never observes completion order.
             for (handle, pair_chunk) in handles.into_iter().zip(pairs.chunks(chunk)) {
-                let novel = handle.join().expect("comparison worker panicked");
+                let novel = handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
                 stats += BatchStats {
                     pairs_compared: pair_chunk.len() as u64,
                     candidates: novel.len() as u64,

@@ -178,7 +178,9 @@ impl ZipfSampler {
     }
 
     fn sample(&self, rng: &mut SmallRng) -> u32 {
-        let total = *self.cumulative.last().expect("non-empty sampler");
+        let Some(&total) = self.cumulative.last() else {
+            return 0; // zero-cardinality column: single degenerate label
+        };
         let x = rng.gen::<f64>() * total;
         self.cumulative.partition_point(|&c| c < x) as u32
     }

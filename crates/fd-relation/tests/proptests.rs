@@ -3,8 +3,8 @@
 
 use fd_core::{AttrId, AttrSet, FastHashSet};
 use fd_relation::{
-    read_csv, sampling_clusters, sampling_clusters_parallel, synth, write_csv, CsvOptions,
-    Partition, Relation, RowId,
+    read_csv, read_csv_with_report, sampling_clusters, sampling_clusters_parallel, synth,
+    write_csv, CsvOptions, Partition, RaggedPolicy, Relation, RowAction, RowId,
 };
 use proptest::prelude::*;
 
@@ -230,6 +230,88 @@ proptest! {
         prop_assert_eq!(relation.n_attrs(), 3);
         // Equality structure must match the original strings exactly.
         for a in 0..3u16 {
+            for t in 0..rows.len() {
+                for u in 0..rows.len() {
+                    prop_assert_eq!(
+                        relation.label(t as u32, a) == relation.label(u as u32, a),
+                        rows[t][a as usize] == rows[u][a as usize],
+                        "col {} rows {} vs {}", a, t, u
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hostile-input fuzz: the parser must never panic on arbitrary bytes —
+    /// including invalid UTF-8, unterminated quotes, and ragged shapes —
+    /// under any ragged policy. Parsing either succeeds or returns a
+    /// structured [`fd_relation::CsvError`].
+    #[test]
+    fn csv_parser_never_panics_on_arbitrary_bytes(
+        data in proptest::collection::vec(0u8..=255u8, 0..200),
+        policy in 0u8..3,
+    ) {
+        let on_ragged = match policy {
+            0 => RaggedPolicy::Error,
+            1 => RaggedPolicy::Skip,
+            _ => RaggedPolicy::Pad,
+        };
+        let opts = CsvOptions { on_ragged, ..Default::default() };
+        if let Ok((relation, report)) = read_csv_with_report(&data[..], "fuzz", &opts) {
+            prop_assert_eq!(relation.n_rows(), report.rows_kept);
+            prop_assert!(report.rows_kept <= report.rows_read);
+        }
+    }
+
+    /// Ragged-row diagnostics carry the correct 1-based row numbers and a
+    /// consistent kept-row count.
+    #[test]
+    fn ragged_diagnostics_carry_correct_row_numbers(
+        widths in proptest::collection::vec(1usize..6, 1..20),
+    ) {
+        // A 3-wide header; any data row with a different width is ragged.
+        let mut text = String::from("a,b,c\n");
+        for w in &widths {
+            text.push_str(&vec!["x"; *w].join(","));
+            text.push('\n');
+        }
+        let opts = CsvOptions { on_ragged: RaggedPolicy::Skip, ..Default::default() };
+        let (relation, report) = read_csv_with_report(text.as_bytes(), "t", &opts).unwrap();
+        // Row numbers count the header as row 1, data from row 2.
+        let expect_bad: Vec<usize> = widths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 3)
+            .map(|(i, _)| i + 2)
+            .collect();
+        prop_assert_eq!(report.rows_read, widths.len());
+        prop_assert_eq!(report.rows_kept, widths.len() - expect_bad.len());
+        prop_assert_eq!(relation.n_rows(), report.rows_kept);
+        let got: Vec<usize> = report.issues.iter().map(|i| i.row).collect();
+        prop_assert_eq!(got, expect_bad);
+        for issue in &report.issues {
+            prop_assert_eq!(issue.action, RowAction::Skipped);
+            prop_assert_eq!(issue.expected, 3);
+            prop_assert!(issue.found != 3);
+        }
+    }
+
+    /// Multi-byte UTF-8 content (2-, 3-, and 4-byte sequences) round-trips
+    /// through write + parse with the equality structure intact.
+    #[test]
+    fn csv_roundtrip_non_ascii_fields(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[aé日𝄞,\n\"]{0,8}", 2..=2),
+            1..8,
+        ),
+    ) {
+        let header = vec!["naïve".to_string(), "日本".to_string()];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &header, rows.clone().into_iter(), b',').unwrap();
+        let relation = read_csv(&buf[..], "rt", &CsvOptions::default()).unwrap();
+        prop_assert_eq!(relation.column_names(), &header[..]);
+        prop_assert_eq!(relation.n_rows(), rows.len());
+        for a in 0..2u16 {
             for t in 0..rows.len() {
                 for u in 0..rows.len() {
                     prop_assert_eq!(

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, and lint with warnings denied.
+#
+# This is a superset of the CI tier-1 gate (`cargo build --release &&
+# cargo test -q`); run it before pushing. `needless_range_loop` is allowed
+# workspace-wide: the kernels index multiple parallel slices by design.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings -A clippy::needless_range_loop

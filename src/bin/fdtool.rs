@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep ;] [--no-header]
+//!                            [--budget-ms N] [--on-ragged error|skip|pad]
 //! fdtool keys     <file.csv> [--sep ;] [--no-header]
 //! fdtool profile  <file.csv>            # column statistics
 //! fdtool compare  <file.csv>            # all algorithms side by side
@@ -11,17 +12,20 @@
 //!
 //! This is the "DMS-shaped" entry point: point it at a CSV and get the
 //! dependency structure, candidate keys, or a cross-algorithm comparison.
+//! `--budget-ms` gives discovery a wall-clock deadline (anytime execution:
+//! a tripped run reports its sound partial result); `--on-ragged` chooses
+//! what to do with rows whose field count disagrees with the header.
 
 use eulerfd::EulerFd;
 use eulerfd_suite::baselines::{AidFd, FastFds, Fdep, HyFd, Tane};
-use eulerfd_suite::core::{bcnf_violations, candidate_keys, Accuracy, FdSet};
+use eulerfd_suite::core::{bcnf_violations, candidate_keys, Accuracy, Budget, FdSet, Termination};
 use eulerfd_suite::relation::synth::{dataset_names, dataset_spec};
 use eulerfd_suite::relation::{
-    read_csv_file, write_csv, CsvOptions, FdAlgorithm, Relation,
+    read_csv_file_with_report, write_csv, CsvOptions, FdAlgorithm, RaggedPolicy, Relation,
 };
 use std::io::Write;
 use std::process::exit;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Writes bulk output, exiting quietly when the consumer (e.g. `head`)
 /// closes the pipe instead of panicking on `println!`.
@@ -48,11 +52,10 @@ fn main() {
         Some("compare") => compare(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("datasets") => {
-            emit_lines(dataset_names().into_iter().map(|name| {
-                let spec = dataset_spec(name).expect("registered");
+            emit_lines(dataset_names().into_iter().filter_map(dataset_spec).map(|spec| {
                 format!(
-                    "{name:<16} {} cols, paper {} rows, default {} rows",
-                    spec.paper_cols, spec.paper_rows, spec.default_rows
+                    "{:<16} {} cols, paper {} rows, default {} rows",
+                    spec.name, spec.paper_cols, spec.paper_rows, spec.default_rows
                 )
             }));
         }
@@ -62,7 +65,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header]\n  fdtool keys <file.csv> [--sep C] [--no-header]\n  fdtool profile <file.csv> [--sep C] [--no-header]\n  fdtool compare <file.csv> [--sep C] [--no-header]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets"
+        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets"
     );
     exit(2);
 }
@@ -71,12 +74,26 @@ struct FileArgs {
     path: String,
     options: CsvOptions,
     algo: String,
+    deadline: Option<Duration>,
+}
+
+impl FileArgs {
+    /// A fresh budget per run: the deadline clock starts when the run does,
+    /// not at argument parsing, so `compare` gives every algorithm the same
+    /// allowance.
+    fn budget(&self) -> Budget {
+        match self.deadline {
+            Some(d) => Budget::with_deadline(d),
+            None => Budget::unlimited(),
+        }
+    }
 }
 
 fn parse_file_args(args: &[String]) -> FileArgs {
     let mut path = None;
     let mut options = CsvOptions::default();
     let mut algo = "euler".to_string();
+    let mut deadline = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -86,18 +103,50 @@ fn parse_file_args(args: &[String]) -> FileArgs {
             }
             "--no-header" => options.has_header = false,
             "--algo" => algo = it.next().unwrap_or_else(|| usage()).clone(),
+            "--budget-ms" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let ms: u64 = v.parse().unwrap_or_else(|_| usage());
+                deadline = Some(Duration::from_millis(ms));
+            }
+            "--on-ragged" => {
+                options.on_ragged = match it.next().unwrap_or_else(|| usage()).as_str() {
+                    "error" => RaggedPolicy::Error,
+                    "skip" => RaggedPolicy::Skip,
+                    "pad" => RaggedPolicy::Pad,
+                    _ => usage(),
+                };
+            }
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_string())
             }
             _ => usage(),
         }
     }
-    FileArgs { path: path.unwrap_or_else(|| usage()), options, algo }
+    FileArgs { path: path.unwrap_or_else(|| usage()), options, algo, deadline }
 }
 
 fn load(path: &str, options: &CsvOptions) -> Relation {
-    match read_csv_file(path, options) {
-        Ok(r) => r,
+    match read_csv_file_with_report(path, options) {
+        Ok((r, report)) => {
+            if !report.issues.is_empty() {
+                eprintln!(
+                    "{path}: kept {} of {} data rows; {} shape issue(s):",
+                    report.rows_kept,
+                    report.rows_read,
+                    report.issues.len()
+                );
+                for issue in report.issues.iter().take(5) {
+                    eprintln!(
+                        "  row {}: {} fields, expected {} -> {:?}",
+                        issue.row, issue.found, issue.expected, issue.action
+                    );
+                }
+                if report.issues.len() > 5 {
+                    eprintln!("  ... and {} more", report.issues.len() - 5);
+                }
+            }
+            r
+        }
         Err(e) => {
             eprintln!("error reading {path}: {e}");
             exit(1);
@@ -105,14 +154,33 @@ fn load(path: &str, options: &CsvOptions) -> Relation {
     }
 }
 
-fn run_algo(name: &str, relation: &Relation) -> FdSet {
+/// Runs one algorithm under `budget`. Algorithms without a budgeted path
+/// (Fdep, HyFD, AID-FD) run to completion and the deadline is advisory.
+fn run_algo(name: &str, relation: &Relation, budget: &Budget) -> (FdSet, Termination) {
+    let note_unbudgeted = |algo: &str| {
+        if !budget.is_unlimited() {
+            eprintln!("note: {algo} has no budgeted path; --budget-ms is ignored for it");
+        }
+    };
     match name {
-        "euler" => EulerFd::new().discover(relation),
-        "aid" => AidFd::default().discover(relation),
-        "hyfd" => HyFd::default().discover(relation),
-        "tane" => Tane::new().discover(relation),
-        "fdep" => Fdep::new().discover(relation),
-        "fastfds" => FastFds::new().discover(relation),
+        "euler" => {
+            let (fds, report) = EulerFd::new().discover_budgeted(relation, budget);
+            (fds, report.termination)
+        }
+        "tane" => Tane::new().discover_budgeted(relation, budget),
+        "fastfds" => FastFds::new().discover_budgeted(relation, budget),
+        "aid" => {
+            note_unbudgeted("aid");
+            (AidFd::default().discover(relation), Termination::Converged)
+        }
+        "hyfd" => {
+            note_unbudgeted("hyfd");
+            (HyFd::default().discover(relation), Termination::Converged)
+        }
+        "fdep" => {
+            note_unbudgeted("fdep");
+            (Fdep::new().discover(relation), Termination::Converged)
+        }
         other => {
             eprintln!("unknown algorithm {other}");
             exit(2);
@@ -131,8 +199,16 @@ fn discover(args: &[String]) {
         fa.algo
     );
     let start = Instant::now();
-    let fds = run_algo(&fa.algo, &relation);
-    eprintln!("{} FDs in {:.3}s", fds.len(), start.elapsed().as_secs_f64());
+    let (fds, termination) = run_algo(&fa.algo, &relation, &fa.budget());
+    if termination.is_partial() {
+        eprintln!(
+            "{} FDs in {:.3}s (budget tripped: {termination}; partial result)",
+            fds.len(),
+            start.elapsed().as_secs_f64()
+        );
+    } else {
+        eprintln!("{} FDs in {:.3}s", fds.len(), start.elapsed().as_secs_f64());
+    }
     emit_lines(fds.iter().map(|fd| fd.display(relation.column_names()).to_string()));
 }
 
@@ -145,7 +221,10 @@ fn profile_cmd(args: &[String]) {
 fn keys(args: &[String]) {
     let fa = parse_file_args(args);
     let relation = load(&fa.path, &fa.options);
-    let fds = run_algo(&fa.algo, &relation);
+    let (fds, termination) = run_algo(&fa.algo, &relation, &fa.budget());
+    if termination.is_partial() {
+        eprintln!("budget tripped ({termination}): keys below reflect a partial FD set");
+    }
     let keys = candidate_keys(relation.n_attrs(), &fds);
     println!("candidate keys:");
     for key in &keys {
@@ -177,10 +256,11 @@ fn compare(args: &[String]) {
     println!("{:<8} {:>10} {:>8} {:>7}", "algo", "time[ms]", "FDs", "F1");
     for name in ["tane", "fdep", "fastfds", "hyfd", "aid", "euler"] {
         let start = Instant::now();
-        let fds = run_algo(name, &relation);
+        let (fds, termination) = run_algo(name, &relation, &fa.budget());
         let ms = start.elapsed().as_secs_f64() * 1000.0;
         let f1 = Accuracy::of(&fds, &truth).f1;
-        println!("{name:<8} {ms:>10.2} {:>8} {f1:>7.3}", fds.len());
+        let mark = if termination.is_partial() { "*" } else { "" };
+        println!("{name:<8} {ms:>10.2} {:>8} {f1:>7.3}{mark}", fds.len());
     }
 }
 
@@ -205,6 +285,9 @@ fn generate(args: &[String]) {
         eprintln!("cannot create {out}: {e}");
         exit(1);
     });
-    write_csv(file, &header, row_iter, b',').expect("write csv");
+    if let Err(e) = write_csv(file, &header, row_iter, b',') {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    }
     eprintln!("wrote {} rows x {} cols to {out}", relation.n_rows(), relation.n_attrs());
 }
