@@ -68,14 +68,13 @@ impl EulerFdConfig {
         self
     }
 
-    /// The effective kernel thread count: `threads`, or the machine's
-    /// available parallelism when the knob is 0.
+    /// The effective kernel thread count: `threads` clamped to the machine's
+    /// available parallelism (`0` = one per core). Clamping means an
+    /// explicit `--threads 8` on a 1-core container degrades to the
+    /// sequential path instead of oversubscribing — the source of
+    /// BENCH_PR1's sub-1× "speedup".
     pub fn resolved_threads(&self) -> usize {
-        if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.threads
-        }
+        fd_core::clamp_threads(self.threads)
     }
 
     /// The capa lower bounds of this config's queues, highest priority

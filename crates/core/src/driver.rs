@@ -60,6 +60,12 @@ pub struct EulerFdReport {
     /// pairs), so this counts the final drain's input; for `Cancelled` it
     /// counts evidence the returned cover does *not* reflect.
     pub pending_at_trip: usize,
+    /// Wall-clock seconds spent in the sampling module (cycle 1), including
+    /// the initial MLFQ pass. Diagnostic only — never compared across runs.
+    pub phase_sample_s: f64,
+    /// Wall-clock seconds spent inverting non-FDs into the positive cover
+    /// (cycle 2 plus the final drain). Diagnostic only.
+    pub phase_invert_s: f64,
 }
 
 impl EulerFdReport {
@@ -126,10 +132,12 @@ impl EulerFd {
             }
         }
 
+        let phase_t0 = std::time::Instant::now();
         let mut sampler = Sampler::new(relation, &self.config);
         let mut termination = sampler
             .initial_pass_budgeted(relation, &mut ncover, &mut pending, budget)
             .unwrap_or_default();
+        report.phase_sample_s += phase_t0.elapsed().as_secs_f64();
 
         // Algorithm 1 runs the MLFQ to exhaustion per sampling phase; the
         // batch bound (ablation knob) can hand control back to the growth
@@ -147,6 +155,7 @@ impl EulerFd {
             // size before the phase ("percentage of additions", V-F). When
             // the growth rate says "keep sampling" but the queue has
             // drained, retired clusters are revived for another pass.
+            let phase_t0 = std::time::Instant::now();
             loop {
                 let size_before = ncover.len();
                 let adds_before = ncover.insertions();
@@ -159,6 +168,7 @@ impl EulerFd {
                         .poll(sampler.stats().pairs_compared, ncover.len() + pcover.len())
                     {
                         termination = t;
+                        report.phase_sample_s += phase_t0.elapsed().as_secs_f64();
                         break 'run;
                     }
                     if !sampler.sample_next(relation, &mut ncover, &mut pending) {
@@ -178,6 +188,7 @@ impl EulerFd {
                     break; // nothing left to sample
                 }
             }
+            report.phase_sample_s += phase_t0.elapsed().as_secs_f64();
 
             // ── Inversion + cycle 2: stop unless Pcover churns enough. ──
             // Processing the most specialized non-FDs first (Algorithm 2's
@@ -187,11 +198,13 @@ impl EulerFd {
             // inversion between non-FDs; whatever it skipped stays in
             // `pending` for the final drain below.
             let before_p = pcover.len();
+            let phase_t0 = std::time::Instant::now();
             let delta = pcover.invert_batch_cancellable(
                 &mut pending,
                 self.config.resolved_threads(),
                 budget.token(),
             );
+            report.phase_invert_s += phase_t0.elapsed().as_secs_f64();
             report.inversions += 1;
             report.invert_delta += delta;
             let gr_p = delta.added as f64 / before_p.max(1) as f64;
@@ -226,7 +239,9 @@ impl EulerFd {
             // the cover so the partial answer stays sound w.r.t. every pair
             // actually compared. Skipped only on an external cancel, where
             // the caller asked to stop as fast as possible.
+            let phase_t0 = std::time::Instant::now();
             let delta = pcover.invert_batch(&mut pending, self.config.resolved_threads());
+            report.phase_invert_s += phase_t0.elapsed().as_secs_f64();
             report.inversions += 1;
             report.invert_delta += delta;
         }

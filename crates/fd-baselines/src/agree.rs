@@ -65,14 +65,21 @@ impl AgreeSetCollector {
         budget: &Budget,
     ) -> (Option<NCover>, Termination) {
         let clusters = sampling_clusters(relation);
+        let total: u64 = clusters.iter().map(|c| pairs_in(c)).sum();
         if let Some(limit) = self.max_pairs {
-            let total: u64 = clusters.iter().map(|c| pairs_in(c)).sum();
             if total > limit {
                 return (None, Termination::PairBudget);
             }
         }
-        let (distinct, termination) = if self.threads > 1 && clusters.len() > 1 {
-            parallel_distinct_agree_sets(relation, &clusters, self.threads, budget)
+        // One pair costs one label comparison per attribute; hand the
+        // average per-cluster unit count to the shared adaptive policy.
+        let cost_hint = total
+            .saturating_mul(relation.n_attrs() as u64)
+            .checked_div(clusters.len() as u64)
+            .unwrap_or(0);
+        let workers = fd_core::parallel::decide(clusters.len(), cost_hint, self.threads);
+        let (distinct, termination) = if workers > 1 {
+            parallel_distinct_agree_sets(relation, &clusters, workers, budget)
         } else {
             sequential_distinct_agree_sets(relation, &clusters, budget)
         };

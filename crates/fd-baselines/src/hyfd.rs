@@ -25,8 +25,8 @@
 //! original.
 
 use crate::fdep::seed_empty_lhs_non_fds;
-use fd_core::{AttrId, AttrSet, FastHashMap, FastHashSet, Fd, FdSet, FdTree, NCover};
-use fd_relation::{sampling_clusters, FdAlgorithm, Partition, Relation, RowId};
+use fd_core::{AttrId, AttrSet, FastHashSet, Fd, FdSet, FdTree, NCover};
+use fd_relation::{sampling_clusters_cached, FdAlgorithm, PliCache, Relation, RowId};
 
 /// The HyFD exact hybrid algorithm.
 #[derive(Clone, Copy, Debug)]
@@ -55,9 +55,11 @@ struct Sampler {
 }
 
 impl Sampler {
-    fn new(relation: &Relation) -> Self {
+    /// Builds the cluster population through the shared PLI cache, so the
+    /// validator's single-attribute partitions are already resident.
+    fn new(relation: &Relation, cache: &mut PliCache) -> Self {
         Sampler {
-            clusters: sampling_clusters(relation),
+            clusters: sampling_clusters_cached(relation, cache),
             window: 1,
             exhausted: false,
             seen_agree: FastHashSet::default(),
@@ -132,11 +134,16 @@ fn invert_into_tree(tree: &mut FdTree, non_fd: &Fd, n_attrs: usize) -> Option<us
     min_new_level
 }
 
-/// Validates `lhs → rhs` against the full relation using the (cached)
+/// Validates `lhs → rhs` against the full relation using the PLI-cached
 /// stripped partition of `lhs`; returns a violating tuple pair on failure.
+///
+/// Partitions are canonical (clusters by first row, rows ascending), so the
+/// *first* violating pair found here is the same whether `Π̂_lhs` was a cache
+/// hit, derived from an ancestor, or computed fresh — witness selection, and
+/// with it the rest of the run, does not depend on cache state.
 fn validate(
     relation: &Relation,
-    cache: &mut FastHashMap<AttrSet, Partition>,
+    cache: &mut PliCache,
     lhs: &AttrSet,
     rhs: AttrId,
 ) -> Result<(), (RowId, RowId)> {
@@ -149,7 +156,7 @@ fn validate(
         }
         return Ok(());
     }
-    let partition = lhs_partition(relation, cache, lhs);
+    let partition = cache.get(relation, lhs);
     let col = relation.column(rhs);
     for cluster in partition.clusters() {
         let first = cluster[0];
@@ -162,31 +169,6 @@ fn validate(
     Ok(())
 }
 
-/// Computes (and caches) `Π̂_lhs` by products of single-attribute partitions,
-/// reusing the largest cached prefix.
-fn lhs_partition(
-    relation: &Relation,
-    cache: &mut FastHashMap<AttrSet, Partition>,
-    lhs: &AttrSet,
-) -> Partition {
-    if let Some(p) = cache.get(lhs) {
-        return p.clone();
-    }
-    let p = match lhs.len() {
-        0 => unreachable!("empty LHS handled by caller"),
-        1 => Partition::of_column(relation, lhs.first().expect("len 1")).stripped(),
-        _ => {
-            let last = lhs.iter().last().expect("non-empty");
-            let prefix = lhs.without(last);
-            let left = lhs_partition(relation, cache, &prefix);
-            let right = lhs_partition(relation, cache, &AttrSet::single(last));
-            left.product(&right)
-        }
-    };
-    cache.insert(*lhs, p.clone());
-    p
-}
-
 impl FdAlgorithm for HyFd {
     fn name(&self) -> &str {
         "HyFD"
@@ -196,7 +178,11 @@ impl FdAlgorithm for HyFd {
         let m = relation.n_attrs();
         let mut ncover = NCover::new(m);
         seed_empty_lhs_non_fds(relation, &mut ncover);
-        let mut sampler = Sampler::new(relation);
+        // One PLI cache serves both phases: the sampler's cluster
+        // construction pins the single-attribute partitions the validator
+        // derives every LHS partition from.
+        let mut cache = PliCache::with_default_budget();
+        let mut sampler = Sampler::new(relation, &mut cache);
         sampler.run(relation, &mut ncover, self.efficiency_threshold);
 
         // Induce the initial candidate tree from the sampled negative cover.
@@ -208,7 +194,6 @@ impl FdAlgorithm for HyFd {
 
         // Validate level by level with sampling switchbacks.
         let mut validated: FastHashSet<Fd> = FastHashSet::default();
-        let mut cache: FastHashMap<AttrSet, Partition> = FastHashMap::default();
         let mut level = 0usize;
         while level <= tree.depth() {
             let candidates: Vec<Fd> =
@@ -263,11 +248,7 @@ impl FdAlgorithm for HyFd {
                 Some(lvl) if lvl <= level => lvl,
                 _ => level + 1,
             };
-            // Partitions of one level are rarely reused two levels later;
-            // keep the cache from growing with the lattice.
-            if cache.len() > 4096 {
-                cache.clear();
-            }
+            // The PLI cache's LRU budget bounds growth; no manual clearing.
         }
         tree.to_fds().into_iter().collect()
     }

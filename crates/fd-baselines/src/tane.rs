@@ -8,18 +8,20 @@
 //! behaviour Table III shows (`ML` on *plista*, *flight*, *uniprot*).
 
 use fd_core::{AttrId, AttrSet, Budget, Fd, FdSet, Termination};
-use fd_relation::{FdAlgorithm, Partition, ProductScratch, Relation};
+use fd_relation::{FdAlgorithm, Partition, PliCache, ProductScratch, Relation};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How many inner-loop iterations pass between token polls in the budgeted
 /// traversal. Polling is one relaxed atomic load plus (rarely) a clock
 /// read, so the stride mainly bounds the poll *frequency* on fast loops.
 const POLL_STRIDE: u32 = 64;
 
-/// Per-candidate state carried between levels.
+/// Per-candidate state carried between levels. The partition is shared
+/// (`Arc`) between the level map and the PLI cache it is donated to.
 struct Node {
     /// Stripped partition `Π̂_X`.
-    partition: Partition,
+    partition: Arc<Partition>,
     /// `Σ(|c|−1)` over stripped clusters; equal values across a refinement
     /// mean the partitions are identical (the Tane validity criterion).
     error_num: usize,
@@ -32,6 +34,10 @@ pub struct Tane {
     /// Abort when a lattice level holds more candidate sets than this
     /// (models the paper's 32 GB memory limit; `None` = unbounded).
     pub max_level_width: Option<usize>,
+    /// Worker threads for the per-level partition products; `0` = one per
+    /// available core. The discovered FD set is identical for every value —
+    /// generation merges results in plan order.
+    pub threads: usize,
 }
 
 
@@ -79,7 +85,13 @@ impl Tane {
 
     /// Tane that aborts when a level exceeds `width` candidates.
     pub fn with_level_limit(width: usize) -> Self {
-        Tane { max_level_width: Some(width) }
+        Tane { max_level_width: Some(width), ..Default::default() }
+    }
+
+    /// Sets the worker-thread knob (builder style); `0` = auto.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Runs discovery; `None` signals the memory guard tripped (reported as
@@ -108,25 +120,38 @@ impl Tane {
         relation: &Relation,
         budget: &Budget,
     ) -> (FdSet, Termination) {
+        self.discover_budgeted_with_cache(relation, budget, &mut PliCache::with_default_budget())
+    }
+
+    /// [`Tane::discover_budgeted`] sharing the caller's PLI cache: level-1
+    /// partitions are served from it (a hit when the sampler or validator
+    /// already built them) and every computed level partition is donated
+    /// back, so a follow-up `g3` validation pass starts warm.
+    pub fn discover_budgeted_with_cache(
+        &self,
+        relation: &Relation,
+        budget: &Budget,
+        cache: &mut PliCache,
+    ) -> (FdSet, Termination) {
         let m = relation.n_attrs();
         let n = relation.n_rows();
+        let threads = fd_core::clamp_threads(self.threads);
         let mut fds = FdSet::new();
         let mut cplus = CPlusMap::new(m);
-        let mut scratch = ProductScratch::default();
         let mut tick = 0u32;
 
         // Level 0: Π_∅ is one cluster of all rows; its error numerator is n−1.
         let mut prev_errors: HashMap<AttrSet, usize> = HashMap::new();
         prev_errors.insert(AttrSet::empty(), n.saturating_sub(1));
 
-        // Level 1.
+        // Level 1, via the PLI cache (pinned singles).
         let mut current: HashMap<AttrSet, Node> = HashMap::new();
         for a in 0..m as AttrId {
             if let Some(t) = budget.poll_time() {
                 return (fds, t);
             }
-            let partition = Partition::of_column(relation, a).stripped();
-            let error_num = partition.covered_rows() - partition.n_clusters();
+            let partition = cache.single(relation, a);
+            let error_num = partition.error_num();
             current.insert(AttrSet::single(a), Node { partition, error_num });
         }
 
@@ -183,6 +208,12 @@ impl Tane {
 
             let mut pruned: Vec<AttrSet> = Vec::new();
             for x in &keys {
+                tick = tick.wrapping_add(1);
+                if tick.is_multiple_of(POLL_STRIDE) {
+                    if let Some(t) = budget.poll_time() {
+                        return (fds, t);
+                    }
+                }
                 let c = level_cplus[x];
                 if c.is_empty() {
                     pruned.push(*x);
@@ -207,10 +238,14 @@ impl Tane {
                 current.remove(x);
             }
 
-            // generate_next_level from prefix blocks.
+            // generate_next_level from prefix blocks: enumerate the
+            // candidate (X, Y1, Y2) triples first (cheap set algebra), then
+            // compute the partition products — the expensive part — with a
+            // worker count picked by the adaptive policy.
             let mut sorted: Vec<AttrSet> = current.keys().copied().collect();
             sorted.sort();
-            let mut next: HashMap<AttrSet, Node> = HashMap::new();
+            let mut cands: Vec<(AttrSet, AttrSet, AttrSet)> = Vec::new();
+            let mut seen: std::collections::HashSet<AttrSet> = std::collections::HashSet::new();
             for i in 0..sorted.len() {
                 for j in i + 1..sorted.len() {
                     tick = tick.wrapping_add(1);
@@ -236,24 +271,119 @@ impl Tane {
                         continue;
                     }
                     let x = y1.union(&y2);
-                    if next.contains_key(&x) {
+                    if !seen.insert(x) {
                         continue;
                     }
                     // All ℓ-subsets of X must have survived pruning.
                     if x.iter().any(|a| !current.contains_key(&x.without(a))) {
                         continue;
                     }
-                    let partition =
-                        current[&y1].partition.product_with(&current[&y2].partition, &mut scratch);
-                    let error_num = partition.covered_rows() - partition.n_clusters();
-                    next.insert(x, Node { partition, error_num });
+                    cands.push((x, y1, y2));
                 }
+            }
+            let products = match generate_products(&cands, &current, n, threads, budget) {
+                Ok(products) => products,
+                Err(t) => return (fds, t),
+            };
+            let mut next: HashMap<AttrSet, Node> = HashMap::with_capacity(products.len());
+            for (x, partition) in products {
+                tick = tick.wrapping_add(1);
+                if tick.is_multiple_of(POLL_STRIDE) {
+                    if let Some(t) = budget.poll_time() {
+                        return (fds, t);
+                    }
+                }
+                let error_num = partition.error_num();
+                let partition = Arc::new(partition);
+                // Donate to the cache (bounded by its LRU budget) so approx
+                // validation and later runs can derive from this level.
+                cache.insert(x, Arc::clone(&partition));
+                next.insert(x, Node { partition, error_num });
             }
             prev_errors = this_level_errors;
             current = next;
         }
         (fds, Termination::Converged)
     }
+}
+
+/// Computes the partition products of one generated lattice level.
+///
+/// Workers are chosen by [`fd_core::parallel::decide`] with the relation's
+/// row count as the per-product cost hint; the sequential path keeps the
+/// caller's single thread. Each worker owns its scratch and polls the budget
+/// between candidates and (stride 64) inside each product; results are
+/// merged in plan order, never completion order, so the generated level —
+/// and with it the whole traversal — is identical for every thread count.
+fn generate_products(
+    cands: &[(AttrSet, AttrSet, AttrSet)],
+    current: &HashMap<AttrSet, Node>,
+    n_rows: usize,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Vec<(AttrSet, Partition)>, Termination> {
+    let workers = fd_core::parallel::decide(cands.len(), n_rows as u64, threads);
+    if workers <= 1 {
+        let mut scratch = ProductScratch::default();
+        let mut out = Vec::with_capacity(cands.len());
+        for (i, &(x, y1, y2)) in cands.iter().enumerate() {
+            // The in-product stride only fires on partitions with ≥ 64
+            // clusters; low-cardinality schemas (few big clusters, tens of
+            // thousands of candidates per level) need this between-candidate
+            // poll to honor the deadline.
+            if (i as u32).is_multiple_of(POLL_STRIDE) {
+                if let Some(t) = budget.poll_time() {
+                    return Err(t);
+                }
+            }
+            let p = current[&y1].partition.product_with_budget(
+                &current[&y2].partition,
+                &mut scratch,
+                budget,
+            )?;
+            out.push((x, p));
+        }
+        return Ok(out);
+    }
+    let chunk = cands.len().div_ceil(workers);
+    let results: Vec<Result<Vec<(AttrSet, Partition)>, Termination>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = cands
+                .chunks(chunk)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut scratch = ProductScratch::default();
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for (i, &(x, y1, y2)) in chunk.iter().enumerate() {
+                            if (i as u32).is_multiple_of(POLL_STRIDE) {
+                                if let Some(t) = budget.poll_time() {
+                                    return Err(t);
+                                }
+                            }
+                            let p = current[&y1].partition.product_with_budget(
+                                &current[&y2].partition,
+                                &mut scratch,
+                                budget,
+                            )?;
+                            out.push((x, p));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    // Re-raise worker panics on the caller's thread.
+                    h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
+                .collect()
+        });
+    let mut out = Vec::with_capacity(cands.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
 }
 
 impl FdAlgorithm for Tane {

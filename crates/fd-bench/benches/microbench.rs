@@ -3,9 +3,9 @@
 //! extraction, and the Ncover → Pcover inversion.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fd_core::{invert_ncover, AttrSet, Fd, LhsTree, NCover};
+use fd_core::{invert_ncover, AttrSet, Fd, FastHashMap, LhsTree, NCover};
 use fd_relation::synth::dataset_spec;
-use fd_relation::Partition;
+use fd_relation::{Partition, ProductScratch, RowId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -111,6 +111,42 @@ fn bench_partitions(c: &mut Criterion) {
     let p1 = Partition::of_column(&relation, 8).stripped();
     let p2 = Partition::of_column(&relation, 3).stripped();
     group.bench_function("product/50k", |b| b.iter(|| black_box(p1.product(&p2))));
+    group.bench_function("product_with_scratch/50k", |b| {
+        let mut scratch = ProductScratch::default();
+        b.iter(|| black_box(p1.product_with(&p2, &mut scratch)))
+    });
+    // The pre-CSR baseline the flat engine replaced: nested Vec<Vec<RowId>>
+    // clusters with the seed's hash-probe product (`FastHashMap` row → owner
+    // table, per-group and final sorts restoring the canonical order the
+    // CSR engine maintains for free).
+    let (n1, n2) = (p1.to_nested(), p2.to_nested());
+    group.bench_function("product_nested_vec_baseline/50k", |b| {
+        b.iter(|| {
+            let mut owner: FastHashMap<RowId, u32> = FastHashMap::default();
+            for (i, cluster) in n1.iter().enumerate() {
+                for &row in cluster {
+                    owner.insert(row, i as u32);
+                }
+            }
+            let mut out: Vec<Vec<RowId>> = Vec::new();
+            for cluster in &n2 {
+                let mut buckets: FastHashMap<u32, Vec<RowId>> = FastHashMap::default();
+                for &row in cluster {
+                    if let Some(&own) = owner.get(&row) {
+                        buckets.entry(own).or_default().push(row);
+                    }
+                }
+                for (_, mut g) in buckets {
+                    if g.len() > 1 {
+                        g.sort_unstable();
+                        out.push(g);
+                    }
+                }
+            }
+            out.sort_by_key(|c| c[0]);
+            black_box(out.len())
+        })
+    });
     group.bench_function("agree_set", |b| {
         b.iter(|| {
             let mut acc = 0usize;

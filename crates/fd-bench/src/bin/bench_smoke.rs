@@ -1,20 +1,23 @@
-//! Smoke benchmark of the data-parallel sampling pipeline (not CI-blocking).
+//! Smoke benchmark of the discovery pipeline (not CI-blocking).
 //!
 //! Runs a downsized rows-scaling sweep on a synthetic dataset twice — once
-//! with 1 kernel thread and once with N — and writes `BENCH_PR1.json`
-//! recording wall-clock, pairs/sec, and the per-point speedup, while also
-//! asserting that both runs discovered the identical FD set. Invoke via
-//! `scripts/bench_smoke.sh` or directly:
+//! with 1 kernel thread and once with N — and writes `BENCH_PR3.json`
+//! recording wall-clock, pairs/sec, the per-point speedup, a per-phase
+//! breakdown (sample / invert / validate / partition-product), and a
+//! partition-product microbench pitting the flat CSR engine against the
+//! legacy nested-vec representation, while also asserting that both runs
+//! discovered the identical FD set. Invoke via `scripts/bench_smoke.sh` or
+//! directly:
 //!
 //! ```text
 //! cargo run --release -p fd-bench --bin bench_smoke -- \
 //!     [--dataset lineitem] [--rows 120000] [--threads 4] \
-//!     [--repeat 2] [--out BENCH_PR1.json]
+//!     [--repeat 2] [--out BENCH_PR3.json]
 //! ```
 
-use eulerfd::{EulerFd, EulerFdConfig};
-use fd_core::FdSet;
-use fd_relation::{synth, Relation};
+use eulerfd::{EulerFd, EulerFdConfig, EulerFdReport};
+use fd_core::{FastHashMap, FdSet};
+use fd_relation::{g3_error_cached, synth, Partition, PliCache, ProductScratch, Relation, RowId};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -33,7 +36,7 @@ impl Default for Opts {
             rows: 120_000,
             threads: 4,
             repeat: 2,
-            out: "BENCH_PR1.json".into(),
+            out: "BENCH_PR3.json".into(),
         }
     }
 }
@@ -77,21 +80,31 @@ fn usage(msg: &str) -> ! {
 }
 
 /// One timed discovery; returns (best wall-clock over `repeat` runs, pairs
-/// compared, FDs). Pairs and FDs are identical across repeats (discovery is
-/// deterministic), so only the clock is minimized.
-fn run_discovery(relation: &Relation, threads: usize, repeat: usize) -> (f64, u64, FdSet) {
+/// compared, FDs, report of the best run). Pairs and FDs are identical
+/// across repeats (discovery is deterministic), so only the clock is
+/// minimized.
+fn run_discovery(
+    relation: &Relation,
+    threads: usize,
+    repeat: usize,
+) -> (f64, u64, FdSet, EulerFdReport) {
     let algo = EulerFd::with_config(EulerFdConfig::default().with_threads(threads));
     let mut best = f64::INFINITY;
     let mut pairs = 0;
     let mut fds = FdSet::new();
+    let mut best_report = EulerFdReport::default();
     for _ in 0..repeat {
         let start = Instant::now();
         let (f, report) = algo.discover_with_report(relation);
-        best = best.min(start.elapsed().as_secs_f64());
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+            best_report = report.clone();
+        }
         pairs = report.sampler.pairs_compared;
         fds = f;
     }
-    (best, pairs, fds)
+    (best, pairs, fds, best_report)
 }
 
 /// Times the comparison kernel itself — the seed's column-major strided
@@ -131,6 +144,116 @@ fn kernel_layout_speedup(relation: &Relation) -> (f64, f64, f64) {
     (pps_col, pps_row, col_secs / row_secs)
 }
 
+/// The pre-CSR stripped-partition representation: one `Vec<RowId>` per
+/// cluster, with the hash-probe product the seed shipped. Kept here (and in
+/// the proptest oracle) purely as a baseline to measure the flat engine
+/// against.
+struct NestedPartition {
+    clusters: Vec<Vec<RowId>>,
+    n_rows: usize,
+}
+
+impl NestedPartition {
+    fn from_partition(p: &Partition, n_rows: usize) -> NestedPartition {
+        NestedPartition { clusters: p.to_nested(), n_rows }
+    }
+
+    /// The legacy product, exactly as the seed shipped it: a
+    /// `FastHashMap<RowId, u32>` row → cluster-id probe table, a per-probe
+    /// `HashMap` bucket split, per-group sorts, and a final sort restoring
+    /// the canonical order the CSR engine maintains for free.
+    fn product(&self, other: &NestedPartition) -> NestedPartition {
+        let mut owner: FastHashMap<RowId, u32> = FastHashMap::default();
+        owner.reserve(self.clusters.iter().map(Vec::len).sum());
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            for &row in cluster {
+                owner.insert(row, i as u32);
+            }
+        }
+        let mut out: Vec<Vec<RowId>> = Vec::new();
+        for cluster in &other.clusters {
+            let mut buckets: FastHashMap<u32, Vec<RowId>> = FastHashMap::default();
+            for &row in cluster {
+                if let Some(&own) = owner.get(&row) {
+                    buckets.entry(own).or_default().push(row);
+                }
+            }
+            for (_, mut group) in buckets {
+                if group.len() > 1 {
+                    group.sort_unstable();
+                    out.push(group);
+                }
+            }
+        }
+        out.sort_by_key(|c| c[0]);
+        NestedPartition { clusters: out, n_rows: self.n_rows }
+    }
+}
+
+/// Measures the partition-product engines head to head: every ordered pair
+/// of single-column stripped partitions, legacy nested-vec vs flat CSR with
+/// a reused scratch. Returns (csr_secs, legacy_secs, speedup, products,
+/// identical).
+fn partition_product_microbench(relation: &Relation, reps: usize) -> (f64, f64, f64, u64, bool) {
+    let singles: Vec<Partition> = (0..relation.n_attrs())
+        .map(|a| Partition::of_column(relation, a as u16).stripped())
+        .collect();
+    let pairs: Vec<(usize, usize)> = (0..singles.len())
+        .flat_map(|i| (i + 1..singles.len()).map(move |j| (i, j)))
+        .filter(|&(i, j)| singles[i].n_clusters() > 0 && singles[j].n_clusters() > 0)
+        .collect();
+    if pairs.is_empty() {
+        return (0.0, 0.0, 1.0, 0, true);
+    }
+
+    // Correctness cross-check before the clocks start: both engines must
+    // produce the same clusters in the same canonical order.
+    let nested: Vec<NestedPartition> = singles
+        .iter()
+        .map(|p| NestedPartition::from_partition(p, relation.n_rows()))
+        .collect();
+    let mut scratch = ProductScratch::default();
+    let identical = pairs.iter().all(|&(i, j)| {
+        singles[i].product_with(&singles[j], &mut scratch).to_nested()
+            == nested[i].product(&nested[j]).clusters
+    });
+
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        for &(i, j) in &pairs {
+            sink ^= singles[i].product_with(&singles[j], &mut scratch).n_clusters();
+        }
+    }
+    let csr_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for &(i, j) in &pairs {
+            sink ^= nested[i].product(&nested[j]).clusters.len();
+        }
+    }
+    let legacy_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+
+    let products = (pairs.len() * reps) as u64;
+    (csr_secs, legacy_secs, legacy_secs / csr_secs, products, identical)
+}
+
+/// Times `g3` validation of every discovered FD against the full relation,
+/// all served by one shared PLI cache (the HyFd/Tane validation path).
+fn validate_phase(relation: &Relation, fds: &FdSet) -> (f64, usize, usize) {
+    let mut cache = PliCache::with_default_budget();
+    let start = Instant::now();
+    let mut exact = 0usize;
+    for fd in fds {
+        if g3_error_cached(relation, &fd.lhs, fd.rhs, &mut cache) == 0.0 {
+            exact += 1;
+        }
+    }
+    (start.elapsed().as_secs_f64(), fds.len(), exact)
+}
+
 fn main() {
     let opts = parse_opts();
     let spec = synth::dataset_spec(&opts.dataset)
@@ -142,6 +265,8 @@ fn main() {
     let mut json_points = String::new();
     let mut max_speedup: f64 = 0.0;
     let mut all_identical = true;
+    let mut full_fds = FdSet::new();
+    let mut full_report = EulerFdReport::default();
 
     println!(
         "bench_smoke: {} up to {} rows, 1 vs {} threads (best of {}, {} core(s) available)",
@@ -153,8 +278,8 @@ fn main() {
     );
     for (i, &rows) in points.iter().enumerate() {
         let relation = full.head(rows.max(1));
-        let (secs_1, pairs, fds_1) = run_discovery(&relation, 1, opts.repeat);
-        let (secs_n, pairs_n, fds_n) = run_discovery(&relation, opts.threads, opts.repeat);
+        let (secs_1, pairs, fds_1, _) = run_discovery(&relation, 1, opts.repeat);
+        let (secs_n, pairs_n, fds_n, report_n) = run_discovery(&relation, opts.threads, opts.repeat);
         assert_eq!(pairs, pairs_n, "pair schedule must be thread-invariant");
         let identical = fds_1 == fds_n;
         all_identical &= identical;
@@ -189,6 +314,10 @@ fn main() {
             identical
         )
         .expect("writing to a String cannot fail");
+        if rows == opts.rows {
+            full_fds = fds_n;
+            full_report = report_n;
+        }
     }
 
     let (pps_col, pps_row, layout_speedup) = kernel_layout_speedup(&full);
@@ -197,10 +326,32 @@ fn main() {
         pps_col, pps_row, layout_speedup
     );
 
+    let (validate_s, validated, exact) = validate_phase(&full, &full_fds);
+    let (csr_s, legacy_s, product_speedup, products, products_identical) =
+        partition_product_microbench(&full, 3);
+    println!(
+        "phases: sample {:.3}s, invert {:.3}s, validate {:.3}s ({}/{} exact), \
+         partition-product {:.3}s CSR vs {:.3}s nested-vec ({:.2}x over {} products)",
+        full_report.phase_sample_s,
+        full_report.phase_invert_s,
+        validate_s,
+        exact,
+        validated,
+        csr_s,
+        legacy_s,
+        product_speedup,
+        products
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"bench_smoke\",\n  \"dataset\": \"{}\",\n  \"threads\": {},\n  \
          \"repeat\": {},\n  \"available_cores\": {},\n  \"points\": [\n{}\n  ],\n  \
          \"max_thread_speedup\": {:.3},\n  \
+         \"phases\": {{\n    \"sample_s\": {:.6},\n    \"invert_s\": {:.6},\n    \
+         \"validate_s\": {:.6},\n    \"partition_product_s\": {:.6}\n  }},\n  \
+         \"validated_fds\": {},\n  \"validated_exact\": {},\n  \
+         \"partition_product\": {{\n    \"products\": {},\n    \"csr_s\": {:.6},\n    \
+         \"nested_vec_s\": {:.6},\n    \"speedup\": {:.3},\n    \"identical\": {}\n  }},\n  \
          \"kernel_pairs_per_s_column_major\": {:.1},\n  \
          \"kernel_pairs_per_s_row_major\": {:.1},\n  \
          \"kernel_layout_speedup\": {:.3},\n  \
@@ -211,6 +362,17 @@ fn main() {
         cores,
         json_points,
         max_speedup,
+        full_report.phase_sample_s,
+        full_report.phase_invert_s,
+        validate_s,
+        csr_s,
+        validated,
+        exact,
+        products,
+        csr_s,
+        legacy_s,
+        product_speedup,
+        products_identical,
         pps_col,
         pps_row,
         layout_speedup,
@@ -220,4 +382,5 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
     println!("[saved {}]", opts.out);
     assert!(all_identical, "thread counts disagreed on the FD set");
+    assert!(products_identical, "CSR and nested-vec products disagreed");
 }

@@ -247,12 +247,10 @@ impl PCover {
         }
         // Small batches invert inline: spawning threads costs more than the
         // tree surgery it would parallelize. The cutoff cannot change the
-        // result, only the wall clock.
-        let workers = if total < MIN_INVERSIONS_PARALLEL {
-            1
-        } else {
-            threads.max(1).min(jobs.len().max(1))
-        };
+        // result, only the wall clock. One inversion walks ~1Ki tree nodes,
+        // the cost hint handed to the shared adaptive policy.
+        let workers =
+            crate::parallel::decide(total, INVERSION_COST_UNITS, threads).min(jobs.len().max(1));
         let mut delta = InvertDelta::default();
         // Work items a cancelled shard did not get to, pushed back into
         // `non_fds` after the (possibly parallel) drain.
@@ -341,8 +339,11 @@ impl PCover {
     }
 }
 
-/// Batches below this size invert sequentially in [`PCover::invert_batch`].
-const MIN_INVERSIONS_PARALLEL: usize = 64;
+/// Approximate tree-node visits per inversion, the cost hint handed to
+/// [`crate::parallel::decide`] by [`PCover::invert_batch`]. With the policy's
+/// 64Ki-unit quantum this reproduces the former engagement point of 64
+/// inversions per worker.
+const INVERSION_COST_UNITS: u64 = 1024;
 
 /// One non-FD's inversion against a single RHS tree (the body shared by
 /// [`PCover::invert`] and the per-RHS shards of [`PCover::invert_batch`]).

@@ -44,6 +44,7 @@ pub mod index;
 pub mod lhs_tree;
 pub mod metrics;
 pub mod naive;
+pub mod parallel;
 
 pub use attrset::{AttrId, AttrSet, MAX_ATTRS};
 pub use budget::{Budget, CancelToken, Termination, Watchdog};
@@ -57,3 +58,4 @@ pub use index::FdIndex;
 pub use lhs_tree::LhsTree;
 pub use metrics::Accuracy;
 pub use naive::NaiveLhsStore;
+pub use parallel::{available_cores, clamp_threads, decide};

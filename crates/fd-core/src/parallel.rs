@@ -1,0 +1,137 @@
+//! Adaptive parallelism policy shared by every data-parallel kernel.
+//!
+//! PR 1 gave each kernel its own hard-coded engagement threshold
+//! (`MIN_PAIRS_PER_WORKER`, `MIN_INVERSIONS_PARALLEL`, …) and trusted the
+//! caller's thread knob blindly. `BENCH_PR1.json` showed where that breaks:
+//! on a 1-core host an explicit `--threads 4` spawned four workers anyway and
+//! *lost* 10–14% of wall-clock to scheduling overhead. This module centralises
+//! both decisions:
+//!
+//! * [`clamp_threads`] resolves a user-facing thread knob against the
+//!   machine (`0` = auto; explicit values are capped at the available
+//!   core count, so oversubscription is impossible by construction);
+//! * [`decide`] is the pure per-batch policy: given the number of work
+//!   items, a per-item cost hint, and an already-clamped thread budget, it
+//!   returns how many workers to actually spawn. Small batches fall back to
+//!   the sequential path.
+//!
+//! `decide` deliberately does **not** consult the machine — it is a pure
+//! function of its arguments, so the thread-invariance property tests can
+//! drive the parallel code paths on any host. All machine awareness lives in
+//! [`clamp_threads`], which is applied once at the configuration boundary.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum work units per worker before spawning is worth it.
+///
+/// A *unit* is roughly one `u32` comparison (one label probe, one row move).
+/// The constant preserves PR 1's measured engagement points: the pair kernel
+/// engaged at 4096 pairs × ~16 attrs ≈ 64Ki units per worker, and cover
+/// inversion at 64 jobs × ~1Ki tree-node visits.
+pub const MIN_UNITS_PER_WORKER: u64 = 65_536;
+
+/// Cached `available_parallelism()` (the syscall is not free and the value
+/// cannot change mid-process for our purposes). 0 = not yet queried.
+static AVAILABLE_CORES: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of available cores, queried once and cached.
+pub fn available_cores() -> usize {
+    let cached = AVAILABLE_CORES.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    AVAILABLE_CORES.store(cores, Ordering::Relaxed);
+    cores
+}
+
+/// Resolves a user-facing thread knob: `0` means one worker per available
+/// core; explicit values are clamped to the available core count so a
+/// `--threads 8` run on a 1-core container degrades to the sequential path
+/// instead of oversubscribing.
+pub fn clamp_threads(requested: usize) -> usize {
+    let cores = available_cores();
+    if requested == 0 {
+        cores
+    } else {
+        requested.min(cores)
+    }
+}
+
+/// The adaptive engagement policy: how many workers to spawn for a batch of
+/// `work_items` items costing roughly `cost_hint` units each, given an
+/// already-clamped budget of `threads`.
+///
+/// Returns a value in `1..=threads.max(1)`, never exceeding `work_items`
+/// (an idle worker is pure overhead) and never splitting the batch finer
+/// than [`MIN_UNITS_PER_WORKER`] units per worker.
+pub fn decide(work_items: usize, cost_hint: u64, threads: usize) -> usize {
+    if threads <= 1 || work_items <= 1 {
+        return 1;
+    }
+    let total_units = (work_items as u64).saturating_mul(cost_hint.max(1));
+    let by_cost = (total_units / MIN_UNITS_PER_WORKER).max(1);
+    threads.min(work_items).min(usize::try_from(by_cost).unwrap_or(usize::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_budget_stays_sequential() {
+        assert_eq!(decide(1_000_000, 1_000, 1), 1);
+        assert_eq!(decide(1_000_000, 1_000, 0), 1);
+    }
+
+    #[test]
+    fn tiny_batches_fall_back_to_sequential() {
+        // 100 pairs × 16 attrs = 1.6K units — far below one worker's quantum.
+        assert_eq!(decide(100, 16, 8), 1);
+        assert_eq!(decide(0, 16, 8), 1);
+        assert_eq!(decide(1, u64::MAX, 8), 1);
+    }
+
+    #[test]
+    fn large_batches_use_the_full_budget() {
+        // 1M pairs × 16 attrs = 16M units → 244 workers by cost; capped at 8.
+        assert_eq!(decide(1_000_000, 16, 8), 8);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_items() {
+        assert_eq!(decide(3, u64::MAX, 8), 3);
+    }
+
+    #[test]
+    fn intermediate_batches_scale_down() {
+        // 8192 pairs × 16 attrs = 128Ki units → 2 workers even with 8 budget.
+        assert_eq!(decide(8192, 16, 8), 2);
+        // PR 1's engagement point: 4096 pairs × 16 attrs = exactly one quantum.
+        assert_eq!(decide(4096, 16, 8), 1);
+    }
+
+    #[test]
+    fn zero_cost_hint_is_treated_as_one_unit() {
+        assert_eq!(decide(1 << 20, 0, 4), 4);
+    }
+
+    #[test]
+    fn clamp_respects_the_machine() {
+        let cores = available_cores();
+        assert!(cores >= 1);
+        assert_eq!(clamp_threads(0), cores);
+        assert_eq!(clamp_threads(1), 1);
+        assert!(clamp_threads(usize::MAX) <= cores);
+    }
+
+    #[test]
+    fn decide_is_monotone_in_items() {
+        let mut prev = 0;
+        for items in [0, 1, 10, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            let w = decide(items, 64, 16);
+            assert!(w >= prev, "items={items}: {w} < {prev}");
+            prev = w;
+        }
+    }
+}

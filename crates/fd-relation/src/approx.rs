@@ -10,7 +10,7 @@
 //! rare tuple pairs, which is precisely the paper's explanation of where
 //! AID-FD and EulerFD lose their F1 points (Section V-B).
 
-use crate::partition::Partition;
+use crate::pli_cache::PliCache;
 use crate::relation::Relation;
 use fd_core::{AttrId, AttrSet, Fd, FdSet};
 use fd_core::FastHashMap;
@@ -18,7 +18,23 @@ use fd_core::FastHashMap;
 /// The `g3` error of `lhs → rhs` on `relation`: `1 − (max kept rows) / n`,
 /// where rows are kept so that the FD holds exactly — within every cluster
 /// of `Π_lhs` only the plurality RHS value survives.
+///
+/// One-shot convenience over [`g3_error_cached`]; scoring many FDs on the
+/// same relation should share a [`PliCache`] (as [`g3_report`] does) so
+/// overlapping LHS partitions are computed once.
 pub fn g3_error(relation: &Relation, lhs: &AttrSet, rhs: AttrId) -> f64 {
+    g3_error_cached(relation, lhs, rhs, &mut PliCache::with_default_budget())
+}
+
+/// [`g3_error`] with the LHS partition served by `cache` — `Π̂_lhs` is
+/// derived from the cheapest cached ancestor instead of refolded from
+/// single-attribute partitions on every call.
+pub fn g3_error_cached(
+    relation: &Relation,
+    lhs: &AttrSet,
+    rhs: AttrId,
+    cache: &mut PliCache,
+) -> f64 {
     let n = relation.n_rows();
     if n == 0 {
         return 0.0;
@@ -33,37 +49,20 @@ pub fn g3_error(relation: &Relation, lhs: &AttrSet, rhs: AttrId) -> f64 {
         }
         kept = counts.values().copied().max().unwrap_or(0);
     } else {
-        let partition = lhs_partition(relation, lhs);
-        let mut covered = 0usize;
+        let partition = cache.get(relation, lhs);
         let mut counts: FastHashMap<u32, usize> = FastHashMap::default();
         for cluster in partition.clusters() {
-            covered += cluster.len();
             counts.clear();
             for &t in cluster {
                 *counts.entry(rhs_col[t as usize]).or_insert(0) += 1;
             }
             kept += counts.values().copied().max().unwrap_or(0);
         }
-        // Singleton clusters (stripped away) trivially keep their row.
-        kept += n - covered;
+        // Singleton clusters (stripped away) trivially keep their row;
+        // `covered_rows` is an O(1) field read in the CSR layout.
+        kept += n - partition.covered_rows();
     }
     1.0 - kept as f64 / n as f64
-}
-
-/// `Π̂_lhs` by folding single-attribute stripped partitions.
-fn lhs_partition(relation: &Relation, lhs: &AttrSet) -> Partition {
-    let mut attrs = lhs.iter();
-    let Some(first) = attrs.next() else {
-        // Empty LHS: Π_∅ is one cluster of all rows. g3_error short-circuits
-        // this case, but keep the function total.
-        let all: Vec<crate::relation::RowId> = (0..relation.n_rows() as u32).collect();
-        return Partition::from_clusters(vec![all], relation.n_rows());
-    };
-    let mut p = Partition::of_column(relation, first).stripped();
-    for a in attrs {
-        p = p.product(&Partition::of_column(relation, a).stripped());
-    }
-    p
 }
 
 /// Summary of how far a discovered FD set deviates from exactness on the
@@ -89,8 +88,11 @@ pub fn g3_report(relation: &Relation, fds: &FdSet) -> G3Report {
     let mut report = G3Report::default();
     let mut total = 0.0;
     let mut count = 0usize;
+    // FDs of one result set share LHS structure heavily; one cache serves
+    // the whole report.
+    let mut cache = PliCache::with_default_budget();
     for fd in fds {
-        let g3 = g3_error(relation, &fd.lhs, fd.rhs);
+        let g3 = g3_error_cached(relation, &fd.lhs, fd.rhs, &mut cache);
         total += g3;
         count += 1;
         report.max_g3 = report.max_g3.max(g3);

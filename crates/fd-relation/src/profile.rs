@@ -62,10 +62,9 @@ pub fn profile(relation: &Relation) -> RelationProfile {
         let distinct = relation.n_distinct(a);
         let stripped = Partition::of_column(relation, a).stripped();
         let covered = stripped.covered_rows();
-        let max_cluster = stripped.clusters().iter().map(|c| c.len()).max().unwrap_or(0);
+        let max_cluster = stripped.clusters().map(<[u32]>::len).max().unwrap_or(0);
         let intra_pairs = stripped
             .clusters()
-            .iter()
             .map(|c| (c.len() as u64) * (c.len() as u64 - 1) / 2)
             .sum();
         columns.push(ColumnProfile {

@@ -222,11 +222,6 @@ impl std::ops::AddAssign for BatchStats {
     }
 }
 
-/// Pairs below this per-worker share run inline: spawning a scoped thread
-/// costs tens of microseconds, so a worker must receive at least this many
-/// comparisons to amortize it.
-const MIN_PAIRS_PER_WORKER: usize = 4096;
-
 /// A row-major packed mirror of a [`Relation`].
 ///
 /// The column-major master layout is ideal for per-attribute passes
@@ -358,9 +353,11 @@ impl RowMajor {
         out
     }
 
-    /// Number of workers a batch of `pairs` merits under `threads`.
+    /// Number of workers a batch of `pairs` merits under `threads`, per the
+    /// shared adaptive policy — one pair costs one label comparison per
+    /// attribute, so `width` is the cost hint.
     fn plan_workers(&self, pairs: usize, threads: usize) -> usize {
-        threads.max(1).min(pairs.div_ceil(MIN_PAIRS_PER_WORKER).max(1))
+        fd_core::parallel::decide(pairs, self.width as u64, threads)
     }
 }
 

@@ -3,8 +3,9 @@
 
 use fd_core::{AttrId, AttrSet, FastHashSet};
 use fd_relation::{
-    read_csv, read_csv_with_report, sampling_clusters, sampling_clusters_parallel, synth,
-    write_csv, CsvOptions, Partition, RaggedPolicy, Relation, RowAction, RowId,
+    read_csv, read_csv_with_report, sampling_clusters, sampling_clusters_cached,
+    sampling_clusters_parallel, synth, write_csv, CsvOptions, Partition, PliCache, RaggedPolicy,
+    Relation, RowAction, RowId,
 };
 use proptest::prelude::*;
 
@@ -45,15 +46,103 @@ fn oracle_partition(r: &Relation, a: AttrId) -> Vec<Vec<u32>> {
     clusters
 }
 
+/// The legacy nested-vec partition representation, with the exact product
+/// and stripping algorithms the CSR engine replaced. Serves as the semantic
+/// oracle for the flat representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct LegacyPartition {
+    clusters: Vec<Vec<RowId>>,
+    n_rows: usize,
+}
+
+impl LegacyPartition {
+    fn of_column(r: &Relation, a: AttrId) -> LegacyPartition {
+        let mut clusters = oracle_partition(r, a);
+        clusters.sort_by_key(|c| c.first().copied().unwrap_or(u32::MAX));
+        LegacyPartition { clusters, n_rows: r.n_rows() }
+    }
+
+    fn stripped(mut self) -> LegacyPartition {
+        self.clusters.retain(|c| c.len() > 1);
+        self
+    }
+
+    fn covered_rows(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+
+    fn error(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        (self.covered_rows() - self.clusters.len()) as f64 / self.n_rows as f64
+    }
+
+    /// The old two-pass hash-probe product.
+    fn product(&self, other: &LegacyPartition) -> LegacyPartition {
+        let mut owner: std::collections::HashMap<RowId, u32> = Default::default();
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            for &t in cluster {
+                owner.insert(t, i as u32);
+            }
+        }
+        let mut out: Vec<Vec<RowId>> = Vec::new();
+        for cluster in &other.clusters {
+            let mut groups: std::collections::HashMap<u32, Vec<RowId>> = Default::default();
+            for &t in cluster {
+                if let Some(&o) = owner.get(&t) {
+                    groups.entry(o).or_default().push(t);
+                }
+            }
+            for (_, mut rows) in groups {
+                if rows.len() > 1 {
+                    rows.sort_unstable();
+                    out.push(rows);
+                }
+            }
+        }
+        out.sort_by_key(|c| c.first().copied().unwrap_or(u32::MAX));
+        LegacyPartition { clusters: out, n_rows: self.n_rows }
+    }
+}
+
 proptest! {
     /// Partitions group exactly the rows with equal labels.
     #[test]
     fn partition_matches_direct_grouping(r in relation_strategy()) {
         for a in 0..r.n_attrs() as AttrId {
             let p = Partition::of_column(&r, a);
-            prop_assert_eq!(p.clusters(), &oracle_partition(&r, a)[..]);
+            prop_assert_eq!(p.to_nested(), oracle_partition(&r, a));
             let stripped = p.stripped();
-            prop_assert!(stripped.clusters().iter().all(|c| c.len() > 1));
+            prop_assert!(stripped.clusters().all(|c| c.len() > 1));
+        }
+    }
+
+    /// The CSR engine is semantically equal to the legacy nested-vec
+    /// implementation it replaced: construction, stripping, products, the
+    /// error measure, and cluster iteration all agree.
+    #[test]
+    fn csr_partitions_match_legacy_nested_vec(r in relation_strategy()) {
+        for a in 0..r.n_attrs() as AttrId {
+            let csr = Partition::of_column(&r, a);
+            let legacy = LegacyPartition::of_column(&r, a);
+            prop_assert_eq!(csr.to_nested(), legacy.clusters.clone());
+            let (csr, legacy) = (csr.stripped(), legacy.stripped());
+            prop_assert_eq!(csr.to_nested(), legacy.clusters.clone());
+            prop_assert_eq!(csr.covered_rows(), legacy.covered_rows());
+            prop_assert!((csr.error() - legacy.error()).abs() < 1e-15);
+            // Cluster-by-cluster iteration visits the same slices.
+            for (i, (cs, ls)) in csr.clusters().zip(&legacy.clusters).enumerate() {
+                prop_assert_eq!(cs, &ls[..], "cluster {}", i);
+                prop_assert_eq!(csr.cluster(i), &ls[..]);
+            }
+            for b in 0..r.n_attrs() as AttrId {
+                let csr_prod = csr.product(&Partition::of_column(&r, b).stripped());
+                let legacy_prod = legacy.product(&LegacyPartition::of_column(&r, b).stripped());
+                prop_assert_eq!(csr_prod.to_nested(), legacy_prod.clusters.clone());
+                prop_assert_eq!(csr_prod.covered_rows(), legacy_prod.covered_rows());
+                prop_assert!((csr_prod.error() - legacy_prod.error()).abs() < 1e-15);
+            }
         }
     }
 
@@ -68,10 +157,10 @@ proptest! {
         let pb = Partition::of_column(&r, 1).stripped();
         let ab = pa.product(&pb);
         let ba = pb.product(&pa);
-        prop_assert_eq!(ab.clusters(), ba.clusters());
+        prop_assert_eq!(&ab, &ba);
         // Idempotence: Π·Π = Π for stripped partitions.
         let aa = pa.product(&pa);
-        prop_assert_eq!(aa.clusters(), pa.clusters());
+        prop_assert_eq!(&aa, &pa);
         // Oracle: group by the label pair.
         let mut groups: std::collections::BTreeMap<(u32, u32), Vec<u32>> = Default::default();
         for t in 0..r.n_rows() as u32 {
@@ -79,7 +168,63 @@ proptest! {
         }
         let mut expect: Vec<Vec<u32>> = groups.into_values().filter(|c| c.len() > 1).collect();
         expect.sort_by_key(|c| c[0]);
-        prop_assert_eq!(ab.clusters(), &expect[..]);
+        prop_assert_eq!(ab.to_nested(), expect);
+    }
+
+    /// A budgeted product under an unlimited budget is byte-identical to the
+    /// plain product (the poll points change nothing but cancellability).
+    #[test]
+    fn budgeted_product_matches_plain(r in relation_strategy()) {
+        if r.n_attrs() < 2 {
+            return Ok(());
+        }
+        let budget = fd_core::Budget::unlimited();
+        let mut scratch = fd_relation::ProductScratch::default();
+        let pa = Partition::of_column(&r, 0).stripped();
+        let pb = Partition::of_column(&r, 1).stripped();
+        let plain = pa.product(&pb);
+        let budgeted = pa.product_with_budget(&pb, &mut scratch, &budget);
+        prop_assert_eq!(budgeted.as_ref(), Ok(&plain));
+    }
+
+    /// Cache-served partitions are bit-identical to fresh computations
+    /// under arbitrary access sequences with a budget small enough to force
+    /// evictions on nearly every insert.
+    #[test]
+    fn pli_cache_is_transparent_under_random_access_and_eviction(
+        r in relation_strategy(),
+        accesses in proptest::collection::vec(
+            proptest::collection::vec(0u16..5, 1..4),
+            1..12,
+        ),
+        budget_rows in 0usize..64,
+    ) {
+        let mut cache = PliCache::new(budget_rows);
+        for attrs in accesses {
+            let lhs: AttrSet = AttrSet::from_attrs(
+                attrs.into_iter().filter(|&a| (a as usize) < r.n_attrs()),
+            );
+            if lhs.is_empty() {
+                continue;
+            }
+            // Fresh oracle: fold single-attribute partitions in set order.
+            let mut it = lhs.iter();
+            let first = it.next().expect("non-empty");
+            let mut fresh = Partition::of_column(&r, first).stripped();
+            for a in it {
+                fresh = fresh.product(&Partition::of_column(&r, a).stripped());
+            }
+            let served = cache.get(&r, &lhs);
+            prop_assert_eq!(&*served, &fresh, "attrs {:?}", lhs);
+        }
+    }
+
+    /// The cached sampler population equals the uncached one exactly.
+    #[test]
+    fn cached_sampling_clusters_match_plain(r in relation_strategy()) {
+        let mut cache = PliCache::with_default_budget();
+        let cached = sampling_clusters_cached(&r, &mut cache);
+        prop_assert_eq!(cached, sampling_clusters(&r));
     }
 
     /// The refinement test decides FDs exactly like the hash verifier.

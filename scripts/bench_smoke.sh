@@ -1,20 +1,22 @@
 #!/usr/bin/env sh
-# Smoke benchmark of the data-parallel sampling pipeline.
+# Smoke benchmark of the discovery pipeline.
 #
 # Runs the downsized rows-scaling sweep at 1 thread and at $THREADS threads
-# and writes BENCH_PR1.json (wall-clock, pairs/sec, speedup per row point).
+# and writes BENCH_PR3.json (wall-clock, pairs/sec, speedup per row point,
+# per-phase breakdown, and the CSR vs nested-vec partition-product
+# microbench).
 #
 # This script is NOT part of the CI gate (`cargo build --release && cargo
 # test -q`): timings depend on the machine, so the JSON is informational.
 # Override via environment: THREADS (default 4), ROWS (default 120000),
-# DATASET (default lineitem), OUT (default BENCH_PR1.json).
+# DATASET (default lineitem), OUT (default BENCH_PR3.json).
 set -eu
 cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-4}"
 ROWS="${ROWS:-120000}"
 DATASET="${DATASET:-lineitem}"
-OUT="${OUT:-BENCH_PR1.json}"
+OUT="${OUT:-BENCH_PR3.json}"
 
 cargo run --release -p fd-bench --bin bench_smoke -- \
     --dataset "$DATASET" --rows "$ROWS" --threads "$THREADS" --out "$OUT" "$@"

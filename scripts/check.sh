@@ -9,4 +9,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Property-based equivalence suite (CSR vs nested-vec partitions, PLI-cache
+# transparency, algorithm invariance). Runs as part of `cargo test` too; the
+# explicit invocation keeps it visible and fails fast with its own name.
+cargo test -q -p fd-relation --test proptests
 cargo clippy --workspace -- -D warnings -A clippy::needless_range_loop

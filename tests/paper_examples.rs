@@ -41,9 +41,9 @@ fn examples_5_and_6_partitions() {
     assert_eq!(age.n_clusters(), 6);
     // Π̂_Age keeps only {t2,t5,t7} and {t4,t6} (0-based ids).
     let stripped = age.stripped();
-    assert_eq!(stripped.clusters(), &[vec![1, 4, 6], vec![3, 5]]);
+    assert_eq!(stripped.to_nested(), vec![vec![1, 4, 6], vec![3, 5]]);
     let gender = Partition::of_column(&r, 3).stripped();
-    assert_eq!(gender.clusters(), &[vec![0, 2, 3, 4, 5, 6], vec![1, 7]]);
+    assert_eq!(gender.to_nested(), vec![vec![0, 2, 3, 4, 5, 6], vec![1, 7]]);
 }
 
 #[test]
