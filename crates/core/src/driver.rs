@@ -132,12 +132,20 @@ impl EulerFd {
             }
         }
 
-        let phase_t0 = std::time::Instant::now();
-        let mut sampler = Sampler::new(relation, &self.config);
-        let mut termination = sampler
-            .initial_pass_budgeted(relation, &mut ncover, &mut pending, budget)
-            .unwrap_or_default();
-        report.phase_sample_s += phase_t0.elapsed().as_secs_f64();
+        // All phase timing flows through `phase_span!`: the guard adds its
+        // elapsed seconds to the report field on drop (on every exit path,
+        // including `break 'run`), so there is exactly one accumulation site
+        // per phase instead of the three hand-rolled `Instant` pairs that
+        // could desync.
+        let mut sampler;
+        let mut termination;
+        {
+            let _sample = fd_telemetry::phase_span!("euler.phase.sample", report.phase_sample_s);
+            sampler = Sampler::new(relation, &self.config);
+            termination = sampler
+                .initial_pass_budgeted(relation, &mut ncover, &mut pending, budget)
+                .unwrap_or_default();
+        }
 
         // Algorithm 1 runs the MLFQ to exhaustion per sampling phase; the
         // batch bound (ablation knob) can hand control back to the growth
@@ -155,40 +163,50 @@ impl EulerFd {
             // size before the phase ("percentage of additions", V-F). When
             // the growth rate says "keep sampling" but the queue has
             // drained, retired clusters are revived for another pass.
-            let phase_t0 = std::time::Instant::now();
-            loop {
-                let size_before = ncover.len();
-                let adds_before = ncover.insertions();
-                let mut sampled_any = false;
-                for _ in 0..batch {
-                    // Budget checkpoint: one poll per sampling step. A step
-                    // is a full window pass over one cluster, so the poll is
-                    // amortized over at least one pair comparison.
-                    if let Some(t) = budget
-                        .poll(sampler.stats().pairs_compared, ncover.len() + pcover.len())
+            {
+                let _sample =
+                    fd_telemetry::phase_span!("euler.phase.sample", report.phase_sample_s);
+                loop {
+                    let size_before = ncover.len();
+                    let adds_before = ncover.insertions();
+                    let mut sampled_any = false;
+                    for _ in 0..batch {
+                        // Budget checkpoint: one poll per sampling step. A
+                        // step is a full window pass over one cluster, so the
+                        // poll is amortized over at least one pair comparison.
+                        if let Some(t) = budget
+                            .poll(sampler.stats().pairs_compared, ncover.len() + pcover.len())
+                        {
+                            termination = t;
+                            break 'run; // the guard accumulates on drop
+                        }
+                        if !sampler.sample_next(relation, &mut ncover, &mut pending) {
+                            break;
+                        }
+                        sampled_any = true;
+                    }
+                    let added = ncover.insertions() - adds_before;
+                    let gr = added as f64 / size_before.max(1) as f64;
+                    report.gr_ncover.push(gr);
+                    fd_telemetry::event!(
+                        "euler.sample_round",
+                        round = (report.gr_ncover.len() - 1) as f64,
+                        ncover_size = ncover.len() as f64,
+                        gr_ncover = gr,
+                        th_ncover = self.config.th_ncover,
+                        mlfq_promotions = sampler.mlfq_promotions() as f64,
+                        mlfq_demotions = sampler.mlfq_demotions() as f64,
+                    );
+                    if gr <= self.config.th_ncover && sampled_any {
+                        break; // the cover stabilized: move to inversion
+                    }
+                    if sampler.is_exhausted()
+                        && (!self.config.enable_revival || sampler.revive_retired() == 0)
                     {
-                        termination = t;
-                        report.phase_sample_s += phase_t0.elapsed().as_secs_f64();
-                        break 'run;
+                        break; // nothing left to sample
                     }
-                    if !sampler.sample_next(relation, &mut ncover, &mut pending) {
-                        break;
-                    }
-                    sampled_any = true;
-                }
-                let added = ncover.insertions() - adds_before;
-                let gr = added as f64 / size_before.max(1) as f64;
-                report.gr_ncover.push(gr);
-                if gr <= self.config.th_ncover && sampled_any {
-                    break; // the cover stabilized: move to inversion
-                }
-                if sampler.is_exhausted()
-                    && (!self.config.enable_revival || sampler.revive_retired() == 0)
-                {
-                    break; // nothing left to sample
                 }
             }
-            report.phase_sample_s += phase_t0.elapsed().as_secs_f64();
 
             // ── Inversion + cycle 2: stop unless Pcover churns enough. ──
             // Processing the most specialized non-FDs first (Algorithm 2's
@@ -198,17 +216,30 @@ impl EulerFd {
             // inversion between non-FDs; whatever it skipped stays in
             // `pending` for the final drain below.
             let before_p = pcover.len();
-            let phase_t0 = std::time::Instant::now();
-            let delta = pcover.invert_batch_cancellable(
-                &mut pending,
-                self.config.resolved_threads(),
-                budget.token(),
-            );
-            report.phase_invert_s += phase_t0.elapsed().as_secs_f64();
+            let delta = {
+                let _invert =
+                    fd_telemetry::phase_span!("euler.phase.invert", report.phase_invert_s);
+                pcover.invert_batch_cancellable(
+                    &mut pending,
+                    self.config.resolved_threads(),
+                    budget.token(),
+                )
+            };
             report.inversions += 1;
             report.invert_delta += delta;
             let gr_p = delta.added as f64 / before_p.max(1) as f64;
             report.gr_pcover.push(gr_p);
+            fd_telemetry::event!(
+                "euler.cycle",
+                cycle = (report.inversions - 1) as f64,
+                ncover_size = ncover.len() as f64,
+                pcover_size = pcover.len() as f64,
+                gr_pcover = gr_p,
+                th_pcover = self.config.th_pcover,
+                invalidated = delta.removed as f64,
+                specialized = delta.added as f64,
+            );
+            fd_telemetry::counter!("euler.invalidations", delta.removed as u64);
             if let Some(t) = budget.poll(sampler.stats().pairs_compared, ncover.len() + pcover.len())
             {
                 termination = t;
@@ -239,11 +270,14 @@ impl EulerFd {
             // the cover so the partial answer stays sound w.r.t. every pair
             // actually compared. Skipped only on an external cancel, where
             // the caller asked to stop as fast as possible.
-            let phase_t0 = std::time::Instant::now();
-            let delta = pcover.invert_batch(&mut pending, self.config.resolved_threads());
-            report.phase_invert_s += phase_t0.elapsed().as_secs_f64();
+            let delta = {
+                let _invert =
+                    fd_telemetry::phase_span!("euler.phase.invert", report.phase_invert_s);
+                pcover.invert_batch(&mut pending, self.config.resolved_threads())
+            };
             report.inversions += 1;
             report.invert_delta += delta;
+            fd_telemetry::counter!("euler.invalidations", delta.removed as u64);
         }
 
         report.sampler = sampler.stats().clone();

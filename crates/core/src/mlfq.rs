@@ -20,6 +20,11 @@ pub struct Mlfq {
     /// Lower capa bound per queue, descending; the last is always 0.
     bounds: Vec<f64>,
     len: usize,
+    /// Queue each cluster last landed in (`usize::MAX` = never queued),
+    /// indexed by `ClusterId`; the basis for promotion/demotion accounting.
+    last_queue: Vec<usize>,
+    promotions: u64,
+    demotions: u64,
 }
 
 impl Mlfq {
@@ -28,7 +33,7 @@ impl Mlfq {
     pub fn new(bounds: Vec<f64>) -> Self {
         assert!(!bounds.is_empty(), "MLFQ needs at least one queue");
         let queues = (0..bounds.len()).map(|_| VecDeque::new()).collect();
-        Mlfq { queues, bounds, len: 0 }
+        Mlfq { queues, bounds, len: 0, last_queue: Vec::new(), promotions: 0, demotions: 0 }
     }
 
     /// Number of queues.
@@ -55,10 +60,40 @@ impl Mlfq {
     }
 
     /// Enqueues `cluster` at the tail of the queue matching `capa`.
+    ///
+    /// A requeue into a higher-priority queue (lower index) than the
+    /// cluster's previous placement counts as a *promotion*, a lower one as
+    /// a *demotion* — the feedback signal Section IV-C's scheduler analogy
+    /// is built on.
     pub fn push(&mut self, cluster: ClusterId, capa: f64) {
         let q = self.queue_for(capa);
+        let idx = cluster as usize;
+        if idx >= self.last_queue.len() {
+            self.last_queue.resize(idx + 1, usize::MAX);
+        }
+        let prev = self.last_queue[idx];
+        if prev != usize::MAX {
+            if q < prev {
+                self.promotions += 1;
+                fd_telemetry::counter!("euler.mlfq.promotions", 1);
+            } else if q > prev {
+                self.demotions += 1;
+                fd_telemetry::counter!("euler.mlfq.demotions", 1);
+            }
+        }
+        self.last_queue[idx] = q;
         self.queues[q].push_back(cluster);
         self.len += 1;
+    }
+
+    /// Requeues into higher-priority queues observed so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Requeues into lower-priority queues observed so far.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
     }
 
     /// Dequeues the head of the highest-priority non-empty queue
@@ -128,6 +163,22 @@ mod tests {
         q.push(2, 0.0);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn promotions_and_demotions_track_requeue_direction() {
+        let mut q = Mlfq::new(mlfq_ranges(3));
+        q.push(1, 0.0); // first placement: neither promotion nor demotion
+        assert_eq!((q.promotions(), q.demotions()), (0, 0));
+        assert_eq!(q.pop(), Some(1));
+        q.push(1, 50.0); // lowest → highest queue
+        assert_eq!((q.promotions(), q.demotions()), (1, 0));
+        assert_eq!(q.pop(), Some(1));
+        q.push(1, 50.0); // same queue: no change
+        assert_eq!((q.promotions(), q.demotions()), (1, 0));
+        assert_eq!(q.pop(), Some(1));
+        q.push(1, 0.0); // highest → lowest
+        assert_eq!((q.promotions(), q.demotions()), (1, 1));
     }
 
     #[test]

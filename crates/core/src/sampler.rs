@@ -178,15 +178,24 @@ impl Sampler {
         // keeps the cover semantics exact even when a set reached the
         // candidate list once per worker chunk.
         let mut new_non_fds = 0usize;
+        let mut duplicates = 0u64;
         for agree in candidates {
             if self.seen_agree.insert(agree) {
                 new_non_fds += ncover.add_agree_set_collect(agree, pending);
+            } else {
+                duplicates += 1;
             }
         }
         self.stats.pairs_compared += batch.pairs_compared;
         self.stats.fold_candidates += batch.candidates;
         self.stats.peak_workers = self.stats.peak_workers.max(batch.workers);
         self.stats.samples += 1;
+        fd_telemetry::counter!("euler.sampler.samples", 1);
+        fd_telemetry::counter!("euler.sampler.pairs_compared", batch.pairs_compared);
+        // Thread-dependent diagnostic, like `fold_candidates`: a set that
+        // straddled worker chunks reaches the fold once per chunk.
+        fd_telemetry::counter!("euler.sampler.duplicate_candidates", duplicates);
+        fd_telemetry::counter!("euler.sampler.new_non_fds", new_non_fds as u64);
 
         let capa = new_non_fds as f64 / pairs as f64;
         let state = &mut self.clusters[id as usize];
@@ -209,6 +218,7 @@ impl Sampler {
         } else {
             self.retired.push(id);
             self.stats.clusters_retired += 1;
+            fd_telemetry::counter!("euler.sampler.clusters_retired", 1);
         }
     }
 
@@ -233,6 +243,7 @@ impl Sampler {
             revived += 1;
         }
         self.stats.revivals += revived;
+        fd_telemetry::counter!("euler.sampler.revivals", revived as u64);
         revived
     }
 
@@ -244,6 +255,16 @@ impl Sampler {
     /// Current queue occupancy (diagnostics / report).
     pub fn mlfq_occupancy(&self) -> Vec<usize> {
         self.mlfq.occupancy()
+    }
+
+    /// MLFQ requeues into higher-priority queues so far (cycle trace).
+    pub fn mlfq_promotions(&self) -> u64 {
+        self.mlfq.promotions()
+    }
+
+    /// MLFQ requeues into lower-priority queues so far (cycle trace).
+    pub fn mlfq_demotions(&self) -> u64 {
+        self.mlfq.demotions()
     }
 }
 

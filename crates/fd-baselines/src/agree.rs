@@ -77,7 +77,8 @@ impl AgreeSetCollector {
             .saturating_mul(relation.n_attrs() as u64)
             .checked_div(clusters.len() as u64)
             .unwrap_or(0);
-        let workers = fd_core::parallel::decide(clusters.len(), cost_hint, self.threads);
+        let workers =
+            fd_core::parallel::decide_at("agree_sets", clusters.len(), cost_hint, self.threads);
         let (distinct, termination) = if workers > 1 {
             parallel_distinct_agree_sets(relation, &clusters, workers, budget)
         } else {

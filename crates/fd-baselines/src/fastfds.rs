@@ -58,11 +58,15 @@ impl FastFds {
         let m = relation.n_attrs();
         let mut collector = AgreeSetCollector::new();
         collector.max_pairs = self.max_pairs;
-        let ncover = match collector.collect_budgeted(relation, budget) {
-            (Some(n), Termination::Converged) => n,
-            (_, Termination::Converged) => return (FdSet::new(), Termination::PairBudget),
-            (_, t) => return (FdSet::new(), t),
+        let ncover = {
+            let _phase = fd_telemetry::span!("fastfds.collect");
+            match collector.collect_budgeted(relation, budget) {
+                (Some(n), Termination::Converged) => n,
+                (_, Termination::Converged) => return (FdSet::new(), Termination::PairBudget),
+                (_, t) => return (FdSet::new(), t),
+            }
         };
+        let _phase = fd_telemetry::span!("fastfds.cover_search");
         let mut out = FdSet::new();
         let full = AttrSet::full(m);
         for rhs in 0..m as AttrId {

@@ -70,6 +70,7 @@ impl Sampler {
     /// threshold or the clusters are exhausted. Returns the fresh agree sets
     /// whose non-FDs changed the cover (only these need inverting).
     fn run(&mut self, relation: &Relation, ncover: &mut NCover, threshold: f64) -> Vec<AttrSet> {
+        let _phase = fd_telemetry::span!("hyfd.sample");
         let mut fresh = Vec::new();
         while !self.exhausted {
             let mut comparisons = 0usize;
@@ -204,6 +205,7 @@ impl FdAlgorithm for HyFd {
             }
             let mut rewind: Option<usize> = None;
             let mut invalid = 0usize;
+            let validate_span = fd_telemetry::span!("hyfd.validate");
             for fd in &candidates {
                 // A concurrent invalidation this level may have removed it.
                 if !tree.contains(&fd.lhs, fd.rhs) {
@@ -230,9 +232,12 @@ impl FdAlgorithm for HyFd {
                     }
                 }
             }
+            drop(validate_span);
+            fd_telemetry::counter!("hyfd.invalidations", invalid as u64);
             // Switch back to sampling when validation was wasteful.
             let ratio = invalid as f64 / candidates.len() as f64;
             if ratio > self.invalid_switch_ratio && !sampler.exhausted {
+                fd_telemetry::counter!("hyfd.switchbacks", 1);
                 for agree in sampler.run(relation, &mut ncover, self.efficiency_threshold) {
                     for rhs in 0..m as AttrId {
                         if agree.contains(rhs) {

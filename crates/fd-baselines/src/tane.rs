@@ -155,7 +155,16 @@ impl Tane {
             current.insert(AttrSet::single(a), Node { partition, error_num });
         }
 
+        let mut level = 1usize;
         while !current.is_empty() {
+            let _level_span = fd_telemetry::span!("tane.level");
+            fd_telemetry::observe!("tane.level.width", current.len() as u64);
+            fd_telemetry::event!(
+                "tane.level",
+                level = level as f64,
+                width = current.len() as f64,
+                fds_so_far = fds.len() as f64,
+            );
             if let Some(limit) = self.max_level_width {
                 if current.len() > limit {
                     return (fds, Termination::MemoryBudget);
@@ -302,6 +311,7 @@ impl Tane {
             }
             prev_errors = this_level_errors;
             current = next;
+            level += 1;
         }
         (fds, Termination::Converged)
     }
@@ -322,7 +332,7 @@ fn generate_products(
     threads: usize,
     budget: &Budget,
 ) -> Result<Vec<(AttrSet, Partition)>, Termination> {
-    let workers = fd_core::parallel::decide(cands.len(), n_rows as u64, threads);
+    let workers = fd_core::parallel::decide_at("tane_products", cands.len(), n_rows as u64, threads);
     if workers <= 1 {
         let mut scratch = ProductScratch::default();
         let mut out = Vec::with_capacity(cands.len());

@@ -1,25 +1,31 @@
 //! Smoke benchmark of the discovery pipeline (not CI-blocking).
 //!
 //! Runs a downsized rows-scaling sweep on a synthetic dataset twice — once
-//! with 1 kernel thread and once with N — and writes `BENCH_PR3.json`
+//! with 1 kernel thread and once with N — and writes `BENCH_PR5.json`
 //! recording wall-clock, pairs/sec, the per-point speedup, a per-phase
-//! breakdown (sample / invert / validate / partition-product), and a
+//! breakdown (sample / invert / validate / partition-product), a
 //! partition-product microbench pitting the flat CSR engine against the
-//! legacy nested-vec representation, while also asserting that both runs
-//! discovered the identical FD set. Invoke via `scripts/bench_smoke.sh` or
-//! directly:
+//! legacy nested-vec representation, and (when built with `--features
+//! telemetry`) a telemetry section: recording overhead off vs. on, the
+//! EulerFD cycle trace, PLI-cache hit economics, and budget trip latencies
+//! for deadline-tripped EulerFD and Tane runs — while also asserting that
+//! both thread counts discovered the identical FD set. Invoke via
+//! `scripts/bench_smoke.sh` or directly:
 //!
 //! ```text
-//! cargo run --release -p fd-bench --bin bench_smoke -- \
+//! cargo run --release -p fd-bench --features telemetry --bin bench_smoke -- \
 //!     [--dataset lineitem] [--rows 120000] [--threads 4] \
-//!     [--repeat 2] [--out BENCH_PR3.json]
+//!     [--repeat 2] [--out BENCH_PR5.json]
 //! ```
 
 use eulerfd::{EulerFd, EulerFdConfig, EulerFdReport};
-use fd_core::{FastHashMap, FdSet};
-use fd_relation::{g3_error_cached, synth, Partition, PliCache, ProductScratch, Relation, RowId};
+use fd_baselines::Tane;
+use fd_core::{Budget, FastHashMap, FdSet};
+use fd_relation::{
+    g3_error_cached, synth, Partition, PliCache, PliCacheStats, ProductScratch, Relation, RowId,
+};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Opts {
     dataset: String,
@@ -36,7 +42,7 @@ impl Default for Opts {
             rows: 120_000,
             threads: 4,
             repeat: 2,
-            out: "BENCH_PR3.json".into(),
+            out: "BENCH_PR5.json".into(),
         }
     }
 }
@@ -242,7 +248,7 @@ fn partition_product_microbench(relation: &Relation, reps: usize) -> (f64, f64, 
 
 /// Times `g3` validation of every discovered FD against the full relation,
 /// all served by one shared PLI cache (the HyFd/Tane validation path).
-fn validate_phase(relation: &Relation, fds: &FdSet) -> (f64, usize, usize) {
+fn validate_phase(relation: &Relation, fds: &FdSet) -> (f64, usize, usize, PliCacheStats) {
     let mut cache = PliCache::with_default_budget();
     let start = Instant::now();
     let mut exact = 0usize;
@@ -251,7 +257,64 @@ fn validate_phase(relation: &Relation, fds: &FdSet) -> (f64, usize, usize) {
             exact += 1;
         }
     }
-    (start.elapsed().as_secs_f64(), fds.len(), exact)
+    (start.elapsed().as_secs_f64(), fds.len(), exact, cache.stats())
+}
+
+/// `(count, sum, max)` of a histogram in a snapshot, or zeros when absent.
+fn hist_totals(snap: &fd_telemetry::TelemetrySnapshot, name: &str) -> (u64, u64, u64) {
+    snap.histogram(name).map_or((0, 0, 0), |h| (h.count, h.sum, h.max))
+}
+
+/// Exercises the budgeted anytime paths under a deadline tight enough to
+/// trip on the 120k workload, so the `budget.trip_latency_ns` histogram and
+/// per-reason trip counters have data for both EulerFD and Tane. Returns
+/// `(termination, trip_count_delta, trip_sum_delta_ns, polls_delta)` per
+/// algorithm, measured as snapshot deltas so each run's trips are
+/// attributable despite the registry being global.
+fn budget_trip_runs(relation: &Relation, threads: usize) -> [(String, u64, u64, u64); 2] {
+    let trip_deadline = Duration::from_millis(30);
+    let before = fd_telemetry::snapshot();
+    let euler = EulerFd::with_config(EulerFdConfig::default().with_threads(threads));
+    let (_, report) = euler.discover_budgeted(relation, &Budget::with_deadline(trip_deadline));
+    let mid = fd_telemetry::snapshot();
+    let (_, tane_term) = Tane::new().discover_budgeted(relation, &Budget::with_deadline(trip_deadline));
+    let after = fd_telemetry::snapshot();
+
+    let delta = |a: &fd_telemetry::TelemetrySnapshot, b: &fd_telemetry::TelemetrySnapshot| {
+        let (c0, s0, _) = hist_totals(a, "budget.trip_latency_ns");
+        let (c1, s1, _) = hist_totals(b, "budget.trip_latency_ns");
+        let polls = b.counter("budget.polls").unwrap_or(0) - a.counter("budget.polls").unwrap_or(0);
+        (c1 - c0, s1 - s0, polls)
+    };
+    let (ec, es, ep) = delta(&before, &mid);
+    let (tc, ts, tp) = delta(&mid, &after);
+    [
+        (report.termination.as_str().to_string(), ec, es, ep),
+        (tane_term.as_str().to_string(), tc, ts, tp),
+    ]
+}
+
+/// Renders one `{"name": …}` object of the budget-trips JSON section.
+fn trip_json(name: &str, t: &(String, u64, u64, u64)) -> String {
+    let (term, count, sum, polls) = (&t.0, t.1, t.2, t.3);
+    let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+    format!(
+        "      \"{name}\": {{\"termination\": \"{term}\", \"polls\": {polls}, \
+         \"trip_latency_count\": {count}, \"trip_latency_mean_ns\": {mean:.0}}}"
+    )
+}
+
+/// Renders an `f64` slice as a compact JSON array.
+fn json_f64_array(values: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v:.6}");
+    }
+    out.push(']');
+    out
 }
 
 fn main() {
@@ -326,7 +389,7 @@ fn main() {
         pps_col, pps_row, layout_speedup
     );
 
-    let (validate_s, validated, exact) = validate_phase(&full, &full_fds);
+    let (validate_s, validated, exact, _) = validate_phase(&full, &full_fds);
     let (csr_s, legacy_s, product_speedup, products, products_identical) =
         partition_product_microbench(&full, 3);
     println!(
@@ -343,6 +406,71 @@ fn main() {
         products
     );
 
+    // ---- Telemetry section (ISSUE 5): one feature-on binary measures its
+    // own overhead by flipping the runtime flag, then leaves it on to
+    // harvest the cycle trace, PLI-cache economics, and budget trips.
+    fd_telemetry::reset();
+    fd_telemetry::set_enabled(false);
+    let (off_s, _, _, _) = run_discovery(&full, opts.threads, opts.repeat);
+    fd_telemetry::set_enabled(true);
+    let (on_s, _, _, trace_report) = run_discovery(&full, opts.threads, opts.repeat);
+    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+    let (_, _, _, cache_stats) = validate_phase(&full, &full_fds);
+    let trips = budget_trip_runs(&full, opts.threads);
+    let snap = fd_telemetry::snapshot();
+    fd_telemetry::set_enabled(false);
+
+    let sample_rounds = snap.events_named("euler.sample_round").count();
+    let cycle_events = snap.events_named("euler.cycle").count();
+    println!(
+        "telemetry: compiled={}, wall off {:.3}s vs on {:.3}s ({:+.2}%), \
+         pli hit rate {:.3} ({} hits / {} misses), \
+         trips: euler {} ({} polls), tane {} ({} polls)",
+        fd_telemetry::compiled(),
+        off_s,
+        on_s,
+        overhead_pct,
+        cache_stats.hit_rate(),
+        cache_stats.hits,
+        cache_stats.misses,
+        trips[0].0,
+        trips[0].3,
+        trips[1].0,
+        trips[1].3
+    );
+
+    let telemetry_json = format!(
+        "  \"telemetry\": {{\n    \"compiled\": {},\n    \
+         \"overhead\": {{\"wall_s_off\": {:.6}, \"wall_s_on\": {:.6}, \
+         \"overhead_pct\": {:.3}}},\n    \
+         \"cycle_trace\": {{\n      \"sample_round_events\": {},\n      \
+         \"cycle_events\": {},\n      \"gr_ncover\": {},\n      \
+         \"gr_pcover\": {}\n    }},\n    \
+         \"pli_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"products\": {}, \"evictions_row_budget\": {}, \
+         \"evictions_entry_cap\": {}, \"resident_rows_hwm\": {}}},\n    \
+         \"budget_trips\": {{\n{},\n{}\n    }},\n    \
+         \"snapshot\": {}\n  }}",
+        fd_telemetry::compiled(),
+        off_s,
+        on_s,
+        overhead_pct,
+        sample_rounds,
+        cycle_events,
+        json_f64_array(&trace_report.gr_ncover),
+        json_f64_array(&trace_report.gr_pcover),
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.hit_rate(),
+        cache_stats.products,
+        cache_stats.evictions_row_budget,
+        cache_stats.evictions_entry_cap,
+        cache_stats.resident_rows_hwm,
+        trip_json("euler", &trips[0]),
+        trip_json("tane", &trips[1]),
+        snap.to_json().trim_end()
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"bench_smoke\",\n  \"dataset\": \"{}\",\n  \"threads\": {},\n  \
          \"repeat\": {},\n  \"available_cores\": {},\n  \"points\": [\n{}\n  ],\n  \
@@ -355,7 +483,7 @@ fn main() {
          \"kernel_pairs_per_s_column_major\": {:.1},\n  \
          \"kernel_pairs_per_s_row_major\": {:.1},\n  \
          \"kernel_layout_speedup\": {:.3},\n  \
-         \"all_identical_fds\": {}\n}}\n",
+         \"all_identical_fds\": {},\n{}\n}}\n",
         opts.dataset,
         opts.threads,
         opts.repeat,
@@ -376,7 +504,8 @@ fn main() {
         pps_col,
         pps_row,
         layout_speedup,
-        all_identical
+        all_identical,
+        telemetry_json
     );
     std::fs::write(&opts.out, &json)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));

@@ -220,6 +220,7 @@ impl Budget {
     /// Check order: token (one atomic load — the common case for unlimited
     /// budgets), then the caps, then the clock.
     pub fn poll(&self, pairs: u64, cover_nodes: usize) -> Option<Termination> {
+        fd_telemetry::counter!("budget.polls", 1);
         if let Some(reason) = self.token.reason() {
             return Some(reason);
         }
@@ -234,7 +235,15 @@ impl Budget {
             }
         }
         if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                // Trip latency: how far past the deadline the poll that
+                // noticed it actually ran — the observability signal for
+                // whether POLL_STRIDE is tight enough.
+                fd_telemetry::observe!(
+                    "budget.trip_latency_ns",
+                    u64::try_from((now - deadline).as_nanos()).unwrap_or(u64::MAX)
+                );
                 return Some(self.trip(Termination::DeadlineExceeded));
             }
         }
@@ -248,6 +257,12 @@ impl Budget {
     }
 
     fn trip(&self, reason: Termination) -> Termination {
+        if fd_telemetry::is_enabled() {
+            // Trips are rare (at most one per run per budget clone), so the
+            // dynamic-name slow path is fine here.
+            fd_telemetry::registry()
+                .counter_add_by_name(&format!("budget.trip.{}", reason.as_str()), 1);
+        }
         self.token.cancel_with(reason);
         // First reason wins even under a race with an external cancel.
         self.token.reason().unwrap_or(reason)
@@ -283,6 +298,10 @@ impl Watchdog {
                 }
                 let now = Instant::now();
                 if now >= deadline {
+                    fd_telemetry::observe!(
+                        "budget.watchdog_fire_latency_ns",
+                        u64::try_from((now - deadline).as_nanos()).unwrap_or(u64::MAX)
+                    );
                     token.cancel_with(Termination::DeadlineExceeded);
                     return;
                 }

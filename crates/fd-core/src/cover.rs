@@ -249,8 +249,8 @@ impl PCover {
         // tree surgery it would parallelize. The cutoff cannot change the
         // result, only the wall clock. One inversion walks ~1Ki tree nodes,
         // the cost hint handed to the shared adaptive policy.
-        let workers =
-            crate::parallel::decide(total, INVERSION_COST_UNITS, threads).min(jobs.len().max(1));
+        let workers = crate::parallel::decide_at("cover_invert", total, INVERSION_COST_UNITS, threads)
+            .min(jobs.len().max(1));
         let mut delta = InvertDelta::default();
         // Work items a cancelled shard did not get to, pushed back into
         // `non_fds` after the (possibly parallel) drain.

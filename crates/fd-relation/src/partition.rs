@@ -395,7 +395,8 @@ pub fn sampling_clusters(relation: &Relation) -> Vec<Vec<RowId>> {
 pub fn sampling_clusters_parallel(relation: &Relation, threads: usize) -> Vec<Vec<RowId>> {
     let n_attrs = relation.n_attrs();
     // Cost hint: one partitioning pass touches every row of the column.
-    let workers = fd_core::parallel::decide(n_attrs, relation.n_rows() as u64, threads);
+    let workers =
+        fd_core::parallel::decide_at("sampling_clusters", n_attrs, relation.n_rows() as u64, threads);
     let stripped: Vec<Partition> = if workers <= 1 {
         (0..n_attrs)
             .map(|a| Partition::of_column(relation, a as AttrId).stripped())

@@ -55,8 +55,27 @@ pub struct PliCacheStats {
     pub misses: usize,
     /// Partition products computed on behalf of misses.
     pub products: usize,
-    /// Entries evicted to stay within the row budget.
+    /// Total entries evicted (always `evictions_row_budget +
+    /// evictions_entry_cap`).
     pub evictions: usize,
+    /// Evictions forced by the resident-row budget.
+    pub evictions_row_budget: usize,
+    /// Evictions forced by [`MAX_UNPINNED_ENTRIES`].
+    pub evictions_entry_cap: usize,
+    /// High-water mark of unpinned resident rows.
+    pub resident_rows_hwm: usize,
+}
+
+impl PliCacheStats {
+    /// Hit rate over all lookups, or 0 when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 struct Entry {
@@ -117,6 +136,13 @@ impl PliCache {
         self.entries.is_empty()
     }
 
+    /// True when `Π̂_attrs` is currently resident (without touching LRU
+    /// order). Lets the transparency tests assert pinned singles survive
+    /// every eviction wave.
+    pub fn contains(&self, attrs: &AttrSet) -> bool {
+        self.entries.contains_key(attrs)
+    }
+
     /// The stripped partition `Π̂_attrs`, served from the cache or derived
     /// from the cheapest cached ancestor.
     ///
@@ -166,9 +192,11 @@ impl PliCache {
         assert!(!attrs.is_empty(), "PliCache::get requires a non-empty attribute set");
         if let Some(p) = self.bump(attrs) {
             self.stats.hits += 1;
+            fd_telemetry::counter!("pli_cache.hits", 1);
             return Ok(p);
         }
         self.stats.misses += 1;
+        fd_telemetry::counter!("pli_cache.misses", 1);
         if attrs.len() == 1 {
             let a = attrs.iter().next().unwrap_or_default();
             let p = Arc::new(Partition::of_column(relation, a).stripped());
@@ -200,6 +228,12 @@ impl PliCache {
                 (k, p)
             }
         };
+        // Derivation depth: how many products separate the chosen ancestor
+        // from the requested set (0 would have been a hit).
+        fd_telemetry::observe!(
+            "pli_cache.derivation_depth",
+            (attrs.len().saturating_sub(acc_key.len())) as u64
+        );
         // Multiply in the remaining singles in ascending order, caching
         // every intermediate. Canonical form makes the end result identical
         // for every ancestor choice.
@@ -216,6 +250,7 @@ impl PliCache {
                 }
             };
             self.stats.products += 1;
+            fd_telemetry::counter!("pli_cache.products", 1);
             let next = match budget {
                 Some(b) => acc.product_with_budget(&single, &mut self.scratch, b)?,
                 None => acc.product_with(&single, &mut self.scratch),
@@ -257,19 +292,35 @@ impl PliCache {
             self.resident_rows += rows;
             self.unpinned += 1;
             self.lru.insert((self.tick, attrs));
+            if self.resident_rows > self.stats.resident_rows_hwm {
+                self.stats.resident_rows_hwm = self.resident_rows;
+                fd_telemetry::observe!("pli_cache.resident_rows", self.resident_rows as u64);
+            }
         }
     }
 
     /// Evicts least-recently-used unpinned entries until within both the
     /// row budget and the entry cap. The victim order — min `(last_used,
     /// key)` — is exactly the BTreeSet order, so this is a `pop_first`.
+    ///
+    /// Each eviction is tagged with its reason: whichever bound is violated
+    /// at the moment the victim is popped (row budget takes precedence when
+    /// both are — the row bound is the one that models memory).
     fn evict_over_budget(&mut self) {
         while self.resident_rows > self.budget_rows || self.unpinned > MAX_UNPINNED_ENTRIES {
+            let over_rows = self.resident_rows > self.budget_rows;
             let Some((_, key)) = self.lru.pop_first() else { return };
             if let Some(old) = self.entries.remove(&key) {
                 self.resident_rows -= old.partition.covered_rows();
                 self.unpinned -= 1;
                 self.stats.evictions += 1;
+                if over_rows {
+                    self.stats.evictions_row_budget += 1;
+                    fd_telemetry::counter!("pli_cache.evictions.row_budget", 1);
+                } else {
+                    self.stats.evictions_entry_cap += 1;
+                    fd_telemetry::counter!("pli_cache.evictions.entry_cap", 1);
+                }
             }
         }
     }
@@ -341,10 +392,30 @@ mod tests {
             assert_eq!(*got, fresh(&r, &attrs), "{attrs:?}");
         }
         assert!(cache.stats().evictions > 0, "budget of 4 rows must evict");
+        // Every eviction carries exactly one reason tag, and a 4-row budget
+        // (with far fewer than MAX_UNPINNED_ENTRIES entries) means all of
+        // them are row-budget evictions.
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, stats.evictions_row_budget + stats.evictions_entry_cap);
+        assert_eq!(stats.evictions_entry_cap, 0);
+        assert!(stats.resident_rows_hwm > 0);
         // Singles stay pinned through every eviction.
         for a in [1u16, 2, 3] {
             assert!(cache.entries.contains_key(&AttrSet::single(a)));
+            assert!(cache.contains(&AttrSet::single(a)));
         }
+    }
+
+    #[test]
+    fn hit_rate_reflects_lookups() {
+        let r = patient();
+        let mut cache = PliCache::with_default_budget();
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        let attrs = AttrSet::from_attrs([1u16, 2]);
+        let _ = cache.get(&r, &attrs); // miss
+        let _ = cache.get(&r, &attrs); // hit
+        let s = cache.stats();
+        assert!(s.hit_rate() > 0.0 && s.hit_rate() < 1.0);
     }
 
     #[test]

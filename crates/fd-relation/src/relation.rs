@@ -357,7 +357,7 @@ impl RowMajor {
     /// shared adaptive policy — one pair costs one label comparison per
     /// attribute, so `width` is the cost hint.
     fn plan_workers(&self, pairs: usize, threads: usize) -> usize {
-        fd_core::parallel::decide(pairs, self.width as u64, threads)
+        fd_core::parallel::decide_at("pair_compare", pairs, self.width as u64, threads)
     }
 }
 

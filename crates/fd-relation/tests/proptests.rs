@@ -200,6 +200,7 @@ proptest! {
         budget_rows in 0usize..64,
     ) {
         let mut cache = PliCache::new(budget_rows);
+        let mut touched = AttrSet::empty();
         for attrs in accesses {
             let lhs: AttrSet = AttrSet::from_attrs(
                 attrs.into_iter().filter(|&a| (a as usize) < r.n_attrs()),
@@ -207,6 +208,7 @@ proptest! {
             if lhs.is_empty() {
                 continue;
             }
+            touched = touched.union(&lhs);
             // Fresh oracle: fold single-attribute partitions in set order.
             let mut it = lhs.iter();
             let first = it.next().expect("non-empty");
@@ -216,6 +218,23 @@ proptest! {
             }
             let served = cache.get(&r, &lhs);
             prop_assert_eq!(&*served, &fresh, "attrs {:?}", lhs);
+        }
+        // Eviction accounting: every eviction carries exactly one reason tag.
+        let stats = cache.stats();
+        prop_assert_eq!(
+            stats.evictions,
+            stats.evictions_row_budget + stats.evictions_entry_cap,
+            "reason tags must partition the eviction count"
+        );
+        // Pinned single-attribute partitions are exempt from both eviction
+        // policies: every single materialized as a derivation base must still
+        // be resident, however tiny the row budget — so no reported eviction
+        // can have been a pinned single.
+        for a in touched.iter() {
+            prop_assert!(
+                cache.contains(&AttrSet::single(a)),
+                "pinned single {{{a}}} was evicted (budget_rows = {budget_rows})"
+            );
         }
     }
 

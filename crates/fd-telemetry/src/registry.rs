@@ -1,0 +1,483 @@
+//! The global metric registry: sharded atomic counters, log2-bucketed
+//! histograms, and the bounded structured-event buffer.
+//!
+//! # Design
+//!
+//! Metric storage is **preallocated and index-addressed**: a fixed table of
+//! [`Counter`]s and [`Histogram`]s is created on first use, and names are
+//! interned to table indices exactly once per call site (see [`CounterSite`]
+//! and [`HistogramSite`]). The record path therefore never takes a lock and
+//! never allocates — it is a thread-sharded relaxed atomic add.
+//!
+//! Counters are sharded across [`SHARDS`] cache-line-padded atomics indexed
+//! by a per-thread shard id, so concurrent increments from kernel workers do
+//! not bounce one cache line. Histograms use a single atomic per bucket:
+//! they sit on colder paths (span ends, batch boundaries) where one
+//! contended add is acceptable.
+//!
+//! Everything here is always compiled; the `telemetry` feature only controls
+//! [`crate::is_enabled`], which callers (the macros) consult *before*
+//! touching the registry. With the feature off the optimizer removes every
+//! record path as dead code behind a constant `false`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+
+/// Counter shards; each is cache-line padded.
+pub const SHARDS: usize = 8;
+
+/// Capacity of the counter table. Interning past this falls back to the last
+/// slot (shared, named `_overflow`) instead of failing.
+pub const MAX_COUNTERS: usize = 192;
+
+/// Capacity of the histogram table; same overflow policy as counters.
+pub const MAX_HISTOGRAMS: usize = 96;
+
+/// Histogram buckets: bucket 0 holds exact zeros, bucket `b ≥ 1` holds
+/// values in `[2^(b-1), 2^b)`; bucket 64 therefore holds `[2^63, u64::MAX]`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Cap on buffered structured events; further events are counted as dropped.
+pub const MAX_EVENTS: usize = 65_536;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing, thread-sharded counter.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Adds `v` on the calling thread's shard (relaxed).
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.shards[shard_index()].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The current total across shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The log2 bucket a value falls into (`0 → 0`, `1 → 1`, `u64::MAX → 64`).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, for rendering (`2^b − 1`; bucket 0 is
+/// the exact-zero bucket).
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// A log2-bucketed histogram with total count, sum, and max.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// `(count, sum, max)` snapshot.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Occupancy of one bucket.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One structured event: a name plus flat numeric fields, in emission order.
+/// The EulerFD driver uses these for its per-iteration cycle trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event name, e.g. `euler.cycle`.
+    pub name: &'static str,
+    /// Field key/value pairs in emission order.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+#[derive(Default)]
+struct NameTable {
+    counter_names: Vec<String>,
+    histogram_names: Vec<String>,
+    counter_ids: HashMap<String, usize>,
+    histogram_ids: HashMap<String, usize>,
+}
+
+/// The process-global registry. Obtain it via [`registry`].
+pub struct Registry {
+    counters: Box<[Counter]>,
+    histograms: Box<[Histogram]>,
+    names: RwLock<NameTable>,
+    events: Mutex<Vec<Event>>,
+    events_dropped: AtomicU64,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            counters: (0..MAX_COUNTERS).map(|_| Counter::default()).collect(),
+            histograms: (0..MAX_HISTOGRAMS).map(|_| Histogram::default()).collect(),
+            names: RwLock::new(NameTable::default()),
+            events: Mutex::new(Vec::new()),
+            events_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Interns `name` as a counter, returning its table index. Idempotent;
+    /// past capacity every new name shares the `_overflow` slot.
+    pub fn counter_id(&self, name: &str) -> usize {
+        if let Some(&id) = self.read_names().counter_ids.get(name) {
+            return id;
+        }
+        let mut names = self.write_names();
+        if let Some(&id) = names.counter_ids.get(name) {
+            return id;
+        }
+        let id = names.counter_names.len().min(MAX_COUNTERS - 1);
+        if id == MAX_COUNTERS - 1 && names.counter_names.len() >= MAX_COUNTERS {
+            return id; // shared overflow slot; don't grow the name table
+        }
+        let stored = if names.counter_names.len() == MAX_COUNTERS - 1 {
+            "_overflow".to_string()
+        } else {
+            name.to_string()
+        };
+        names.counter_names.push(stored);
+        names.counter_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Interns `name` as a histogram; same policy as [`Registry::counter_id`].
+    pub fn histogram_id(&self, name: &str) -> usize {
+        if let Some(&id) = self.read_names().histogram_ids.get(name) {
+            return id;
+        }
+        let mut names = self.write_names();
+        if let Some(&id) = names.histogram_ids.get(name) {
+            return id;
+        }
+        let id = names.histogram_names.len().min(MAX_HISTOGRAMS - 1);
+        if id == MAX_HISTOGRAMS - 1 && names.histogram_names.len() >= MAX_HISTOGRAMS {
+            return id;
+        }
+        let stored = if names.histogram_names.len() == MAX_HISTOGRAMS - 1 {
+            "_overflow".to_string()
+        } else {
+            name.to_string()
+        };
+        names.histogram_names.push(stored);
+        names.histogram_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The counter at `id` (ids come from [`Registry::counter_id`]).
+    #[inline]
+    pub fn counter(&self, id: usize) -> &Counter {
+        &self.counters[id.min(MAX_COUNTERS - 1)]
+    }
+
+    /// The histogram at `id`.
+    #[inline]
+    pub fn histogram(&self, id: usize) -> &Histogram {
+        &self.histograms[id.min(MAX_HISTOGRAMS - 1)]
+    }
+
+    /// Adds to a counter looked up by name (slow path for dynamic names;
+    /// macro call sites use [`CounterSite`] instead).
+    pub fn counter_add_by_name(&self, name: &str, v: u64) {
+        let id = self.counter_id(name);
+        self.counter(id).add(v);
+    }
+
+    /// Observes into a histogram looked up by name (slow path).
+    pub fn observe_by_name(&self, name: &str, v: u64) {
+        let id = self.histogram_id(name);
+        self.histogram(id).observe(v);
+    }
+
+    /// Buffers a structured event, counting it as dropped past [`MAX_EVENTS`].
+    pub fn push_event(&self, event: Event) {
+        let mut events = self.lock_events();
+        if events.len() >= MAX_EVENTS {
+            drop(events);
+            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(event);
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
+    }
+
+    /// `(name, total)` for every registered counter, in registration order.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let names = self.read_names();
+        names
+            .counter_names
+            .iter()
+            .enumerate()
+            .map(|(id, name)| (name.clone(), self.counters[id].value()))
+            .collect()
+    }
+
+    /// `(name, id)` for every registered histogram, in registration order.
+    pub fn histogram_names(&self) -> Vec<(String, usize)> {
+        let names = self.read_names();
+        names.histogram_names.iter().enumerate().map(|(id, n)| (n.clone(), id)).collect()
+    }
+
+    /// A copy of the buffered events.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock_events().clone()
+    }
+
+    /// Zeroes every counter and histogram and clears the event buffer. Names
+    /// stay interned, so cached call-site ids remain valid.
+    pub fn reset(&self) {
+        for c in self.counters.iter() {
+            c.reset();
+        }
+        for h in self.histograms.iter() {
+            h.reset();
+        }
+        self.lock_events().clear();
+        self.events_dropped.store(0, Ordering::Relaxed);
+    }
+
+    fn read_names(&self) -> std::sync::RwLockReadGuard<'_, NameTable> {
+        self.names.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_names(&self) -> std::sync::RwLockWriteGuard<'_, NameTable> {
+        self.names.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_events(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry, created on first use.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+#[inline]
+fn shard_index() -> usize {
+    SHARD.with(|&s| s)
+}
+
+/// A call-site cache for one counter: resolves the name to a table index on
+/// first use, then records lock-free. Declared as a `static` by the
+/// [`crate::counter!`] macro.
+pub struct CounterSite {
+    /// Cached `id + 1`; 0 means not yet interned.
+    id: AtomicUsize,
+}
+
+impl CounterSite {
+    /// An unresolved site (const-initializable in a `static`).
+    pub const fn new() -> CounterSite {
+        CounterSite { id: AtomicUsize::new(0) }
+    }
+
+    /// Adds `v` to the counter named `name`, interning on first call.
+    #[inline]
+    pub fn add(&self, name: &str, v: u64) {
+        let r = registry();
+        let mut id = self.id.load(Ordering::Relaxed);
+        if id == 0 {
+            id = r.counter_id(name) + 1;
+            self.id.store(id, Ordering::Relaxed);
+        }
+        r.counter(id - 1).add(v);
+    }
+}
+
+impl Default for CounterSite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A call-site cache for one histogram; see [`CounterSite`].
+pub struct HistogramSite {
+    id: AtomicUsize,
+}
+
+impl HistogramSite {
+    /// An unresolved site.
+    pub const fn new() -> HistogramSite {
+        HistogramSite { id: AtomicUsize::new(0) }
+    }
+
+    /// Observes `v` into the histogram named `name`, interning on first call.
+    #[inline]
+    pub fn observe(&self, name: &str, v: u64) {
+        self.observe_keyed(|| name.to_string(), v);
+    }
+
+    /// [`HistogramSite::observe`] with a lazily built name: the closure runs
+    /// only on the first (interning) call, so steady-state recording does not
+    /// allocate even for composed names like span durations.
+    #[inline]
+    pub fn observe_keyed<F: FnOnce() -> String>(&self, make_name: F, v: u64) {
+        let r = registry();
+        let mut id = self.id.load(Ordering::Relaxed);
+        if id == 0 {
+            id = r.histogram_id(&make_name()) + 1;
+            self.id.store(id, Ordering::Relaxed);
+        }
+        r.histogram(id - 1).observe(v);
+    }
+}
+
+impl Default for HistogramSite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+        assert_eq!(bucket_of(1 << 63), 64);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_zero_and_max_without_overflow() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(u64::MAX);
+        let (count, _sum, max) = h.totals();
+        assert_eq!(count, 2);
+        assert_eq!(max, u64::MAX);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(64), 1);
+        assert_eq!((0..HIST_BUCKETS).map(|i| h.bucket(i)).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let c = Counter::default();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_overflow_is_shared() {
+        let r = Registry::new();
+        let a = r.counter_id("x");
+        assert_eq!(r.counter_id("x"), a);
+        let b = r.counter_id("y");
+        assert_ne!(a, b);
+        // Exhaust the table: every further name lands on the overflow slot.
+        for i in 0..MAX_COUNTERS {
+            r.counter_id(&format!("flood-{i}"));
+        }
+        let over1 = r.counter_id("late-1");
+        let over2 = r.counter_id("late-2");
+        assert_eq!(over1, MAX_COUNTERS - 1);
+        assert_eq!(over1, over2);
+        assert_eq!(r.counter_values().len(), MAX_COUNTERS);
+    }
+
+    #[test]
+    fn event_buffer_caps_and_counts_drops() {
+        let r = Registry::new();
+        for _ in 0..MAX_EVENTS + 3 {
+            r.push_event(Event { name: "e", fields: vec![] });
+        }
+        assert_eq!(r.events().len(), MAX_EVENTS);
+        assert_eq!(r.events_dropped(), 3);
+        r.reset();
+        assert!(r.events().is_empty());
+        assert_eq!(r.events_dropped(), 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Point-in-time export of the registry: a versioned, serializable
+//! [`TelemetrySnapshot`] with a hand-rolled JSON writer (the workspace has
+//! no serde) and a human-readable summary table.
+//!
+//! # Schema (`fd-telemetry/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "fd-telemetry/v1",
+//!   "version": 1,
+//!   "compiled": true,
+//!   "enabled": true,
+//!   "counters": {"euler.sampler.pairs_compared": 120943},
+//!   "histograms": {
+//!     "span.euler.phase.sample.ns": {
+//!       "count": 4, "sum": 812345, "max": 402111,
+//!       "buckets": [[18, 3], [19, 1]]
+//!     }
+//!   },
+//!   "events": [{"name": "euler.cycle", "fields": {"cycle": 0, "gr_pcover": 0.8}}],
+//!   "events_dropped": 0
+//! }
+//! ```
+//!
+//! `buckets` lists only occupied log2 buckets as `[bucket_index, count]`;
+//! bucket `b` covers `[2^(b-1), 2^b)` with bucket 0 reserved for exact
+//! zeros. Consumers must ignore unknown keys: additions bump `version`,
+//! removals or meaning changes bump the `schema` string itself.
+
+use crate::registry::{bucket_upper_bound, registry, Event, HIST_BUCKETS};
+
+/// The schema identifier written to every export.
+pub const SCHEMA: &str = "fd-telemetry/v1";
+
+/// The schema version written to every export. Bumped on additive changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Aggregates of one histogram at snapshot time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Occupied log2 buckets as `(bucket_index, count)`, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One buffered structured event, with owned strings for the export.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventSnapshot {
+    /// Event name.
+    pub name: String,
+    /// Field key/value pairs in emission order.
+    pub fields: Vec<(String, f64)>,
+}
+
+/// A full point-in-time copy of the telemetry registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Whether the `telemetry` feature was compiled in.
+    pub compiled: bool,
+    /// Whether recording was enabled at snapshot time.
+    pub enabled: bool,
+    /// `(name, total)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, aggregates)` per histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Buffered events in emission order.
+    pub events: Vec<EventSnapshot>,
+    /// Events discarded because the buffer was full.
+    pub events_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Captures the current registry state.
+    pub fn capture() -> TelemetrySnapshot {
+        let r = registry();
+        let mut counters = r.counter_values();
+        counters.sort();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = r
+            .histogram_names()
+            .into_iter()
+            .map(|(name, id)| {
+                let h = r.histogram(id);
+                let (count, sum, max) = h.totals();
+                let buckets = (0..HIST_BUCKETS)
+                    .filter_map(|i| {
+                        let c = h.bucket(i);
+                        (c > 0).then_some((i as u8, c))
+                    })
+                    .collect();
+                (name, HistogramSnapshot { count, sum, max, buckets })
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let events = r
+            .events()
+            .into_iter()
+            .map(|Event { name, fields }| EventSnapshot {
+                name: name.to_string(),
+                fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            })
+            .collect();
+        TelemetrySnapshot {
+            version: SNAPSHOT_VERSION,
+            compiled: crate::compiled(),
+            enabled: crate::is_enabled(),
+            counters,
+            histograms,
+            events,
+            events_dropped: r.events_dropped(),
+        }
+    }
+
+    /// The total of a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The aggregates of a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Events with the given name, in emission order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventSnapshot> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Serializes the snapshot as `fd-telemetry/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_string(SCHEMA)));
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!("  \"compiled\": {},\n", self.compiled));
+        out.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(name), v));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+                json_string(name),
+                h.count,
+                h.sum,
+                h.max
+            ));
+            for (j, (b, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{b}, {c}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {{\"name\": {}, \"fields\": {{", json_string(&e.name)));
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(k), json_number(*v)));
+            }
+            out.push_str("}}");
+        }
+        out.push_str(if self.events.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str(&format!("  \"events_dropped\": {}\n}}\n", self.events_dropped));
+        out
+    }
+
+    /// Renders a human-readable summary table (the `--metrics-summary` view).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry summary (schema {SCHEMA}, compiled: {}, enabled: {})\n",
+            self.compiled, self.enabled
+        ));
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            let width = self.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms (log2 buckets):\n");
+            let width = self.histograms.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                let unit = if name.ends_with(".ns") { "ns" } else { "" };
+                out.push_str(&format!(
+                    "  {name:<width$}  count {:<8} mean {:<12.1} max {} {unit}\n",
+                    h.count,
+                    h.mean(),
+                    h.max
+                ));
+                for &(b, c) in &h.buckets {
+                    out.push_str(&format!(
+                        "  {:<width$}    ≤{:<20} {c}\n",
+                        "",
+                        bucket_upper_bound(b as usize)
+                    ));
+                }
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str(&format!("\nevents: {} buffered", self.events.len()));
+            if self.events_dropped > 0 {
+                out.push_str(&format!(" ({} dropped)", self.events_dropped));
+            }
+            out.push('\n');
+            for e in self.events.iter().take(10) {
+                out.push_str(&format!("  {}:", e.name));
+                for (k, v) in &e.fields {
+                    out.push_str(&format!(" {k}={}", json_number(*v)));
+                }
+                out.push('\n');
+            }
+            if self.events.len() > 10 {
+                out.push_str(&format!("  … and {} more\n", self.events.len() - 10));
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_number_handles_non_finite() {
+        assert_eq!(json_number(1.0), "1");
+        assert_eq!(json_number(0.25), "0.25");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_with_all_required_keys() {
+        let snap = TelemetrySnapshot { version: SNAPSHOT_VERSION, ..Default::default() };
+        let json = snap.to_json();
+        for key in
+            ["\"schema\"", "\"version\"", "\"compiled\"", "\"enabled\"", "\"counters\"",
+             "\"histograms\"", "\"events\"", "\"events_dropped\""]
+        {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("fd-telemetry/v1"));
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers_work() {
+        let snap = TelemetrySnapshot {
+            version: 1,
+            counters: vec![("a".into(), 3)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot { count: 2, sum: 10, max: 8, buckets: vec![(2, 1), (4, 1)] },
+            )],
+            ..Default::default()
+        };
+        assert_eq!(snap.counter("a"), Some(3));
+        assert_eq!(snap.counter("b"), None);
+        assert_eq!(snap.histogram("h").map(|h| h.count), Some(2));
+        assert!((snap.histogram("h").map(HistogramSnapshot::mean).unwrap() - 5.0).abs() < 1e-12);
+    }
+}

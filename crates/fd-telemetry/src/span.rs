@@ -1,0 +1,178 @@
+//! Lightweight spans: RAII duration recording with a thread-local span
+//! stack, plus the always-on [`PhaseSpan`] phase timer.
+//!
+//! A span records its wall-clock duration (nanoseconds) into a histogram
+//! named `span.<name>.ns` when it drops. Spans nest: each thread keeps a
+//! stack of active span names, so [`span_depth`] and [`current_span`] can
+//! attribute nested work (the snapshot records durations per span name; the
+//! stack exists so emitters can tag events with their enclosing span).
+//!
+//! [`PhaseSpan`] is the exception to "compiles to nothing": it *always*
+//! accumulates elapsed seconds into a caller-owned `f64` (it replaces the
+//! hand-rolled `Instant` plumbing the driver used for its report fields,
+//! which must work with telemetry compiled out), and additionally records
+//! the span histogram when telemetry is enabled.
+
+use crate::registry::HistogramSite;
+use crate::is_enabled;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Number of spans currently open on this thread.
+pub fn span_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// Name of the innermost open span on this thread, if any.
+pub fn current_span() -> Option<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// RAII guard produced by [`crate::span!`]. Records `span.<name>.ns` on drop
+/// when telemetry is enabled; inert (no clock reads) otherwise.
+pub struct SpanGuard {
+    start: Option<Instant>,
+    name: &'static str,
+    site: &'static HistogramSite,
+}
+
+impl SpanGuard {
+    /// Opens a span. Called by the [`crate::span!`] macro, which supplies the
+    /// per-call-site histogram cache.
+    #[inline]
+    pub fn enter(name: &'static str, site: &'static HistogramSite) -> SpanGuard {
+        if !is_enabled() {
+            return SpanGuard { start: None, name, site };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        SpanGuard { start: Some(Instant::now()), name, site }
+    }
+
+    /// True when this span is live (telemetry was enabled at entry).
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Pop our own frame; drops run in reverse entry order, so the
+                // top is ours unless a guard was leaked (then best-effort).
+                if stack.last() == Some(&self.name) {
+                    stack.pop();
+                }
+            });
+            let name = self.name;
+            self.site.observe_keyed(|| format!("span.{name}.ns"), nanos);
+        }
+    }
+}
+
+/// An always-on phase timer: accumulates elapsed seconds into a borrowed
+/// `f64` on drop, and records the `span.<name>.ns` histogram when telemetry
+/// is enabled. Produced by [`crate::phase_span!`].
+///
+/// This deliberately does **not** compile to nothing with the feature off:
+/// report fields like `EulerFdReport::phase_sample_s` must keep working in
+/// untelemetered builds, and one `Instant` pair per phase is exactly what
+/// the manual timing it replaced cost.
+pub struct PhaseSpan<'a> {
+    start: Instant,
+    acc: &'a mut f64,
+    name: &'static str,
+    site: &'static HistogramSite,
+}
+
+impl<'a> PhaseSpan<'a> {
+    /// Starts a phase timer accumulating into `acc`.
+    #[inline]
+    pub fn enter(name: &'static str, site: &'static HistogramSite, acc: &'a mut f64) -> Self {
+        if is_enabled() {
+            SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        }
+        PhaseSpan { start: Instant::now(), acc, name, site }
+    }
+}
+
+impl Drop for PhaseSpan<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        *self.acc += elapsed.as_secs_f64();
+        if is_enabled() {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if stack.last() == Some(&self.name) {
+                    stack.pop();
+                }
+            });
+            let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            let name = self.name;
+            self.site.observe_keyed(|| format!("span.{name}.ns"), nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_span_accumulates_regardless_of_feature() {
+        static SITE: HistogramSite = HistogramSite::new();
+        let mut acc = 0.0f64;
+        {
+            let _p = PhaseSpan::enter("test.phase", &SITE, &mut acc);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(acc >= 0.002, "accumulated {acc}");
+        let before = acc;
+        {
+            let _p = PhaseSpan::enter("test.phase", &SITE, &mut acc);
+        }
+        assert!(acc >= before, "accumulation is additive");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn span_stack_tracks_nesting() {
+        let _l = crate::test_lock();
+        crate::set_enabled(true);
+        static A: HistogramSite = HistogramSite::new();
+        static B: HistogramSite = HistogramSite::new();
+        let base = span_depth();
+        {
+            let outer = SpanGuard::enter("span-test-outer", &A);
+            assert!(outer.is_recording());
+            assert_eq!(span_depth(), base + 1);
+            assert_eq!(current_span(), Some("span-test-outer"));
+            {
+                let _inner = SpanGuard::enter("span-test-inner", &B);
+                assert_eq!(span_depth(), base + 2);
+                assert_eq!(current_span(), Some("span-test-inner"));
+            }
+            assert_eq!(span_depth(), base + 1);
+        }
+        assert_eq!(span_depth(), base);
+        let snap = crate::snapshot();
+        assert!(snap.histogram("span.span-test-outer.ns").is_some());
+        assert!(snap.histogram("span.span-test-inner.ns").is_some());
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn spans_are_inert_without_the_feature() {
+        static SITE: HistogramSite = HistogramSite::new();
+        let g = SpanGuard::enter("never", &SITE);
+        assert!(!g.is_recording());
+        assert_eq!(span_depth(), 0);
+        assert_eq!(current_span(), None);
+    }
+}

@@ -14,3 +14,13 @@ cargo test -q
 # explicit invocation keeps it visible and fails fast with its own name.
 cargo test -q -p fd-relation --test proptests
 cargo clippy --workspace -- -D warnings -A clippy::needless_range_loop
+
+# Telemetry schema gate: build the telemetry-on binary, export a real
+# metrics file from a real discovery run on the bundled paper example, and
+# assert the fd-telemetry/v1 wire format (tests/metrics_schema.rs reads
+# METRICS_JSON; no jq dependency).
+cargo build --release --features telemetry
+METRICS_TMP="$(mktemp /tmp/fdtool-metrics.XXXXXX.json)"
+trap 'rm -f "$METRICS_TMP"' EXIT
+./target/release/fdtool discover data/patient.csv --metrics-out "$METRICS_TMP" > /dev/null
+METRICS_JSON="$METRICS_TMP" cargo test -q --features telemetry --test metrics_schema

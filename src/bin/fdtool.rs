@@ -3,6 +3,7 @@
 //! ```text
 //! fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep ;] [--no-header]
 //!                            [--budget-ms N] [--on-ragged error|skip|pad]
+//!                            [--metrics-out <path>] [--metrics-summary]
 //! fdtool keys     <file.csv> [--sep ;] [--no-header]
 //! fdtool profile  <file.csv>            # column statistics
 //! fdtool compare  <file.csv>            # all algorithms side by side
@@ -15,6 +16,13 @@
 //! `--budget-ms` gives discovery a wall-clock deadline (anytime execution:
 //! a tripped run reports its sound partial result); `--on-ragged` chooses
 //! what to do with rows whose field count disagrees with the header.
+//!
+//! `--metrics-out <path>` writes one versioned `fd-telemetry/v1` JSON
+//! snapshot of every counter, histogram, and cycle-trace event the run
+//! emitted; `--metrics-summary` prints the human-readable table to stderr.
+//! Both switch recording on for the run; the binary must be built with
+//! `--features telemetry` for the snapshot to carry data (an untelemetered
+//! build writes a valid, empty snapshot with `"compiled": false`).
 
 use eulerfd::EulerFd;
 use eulerfd_suite::baselines::{AidFd, FastFds, Fdep, HyFd, Tane};
@@ -65,7 +73,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets"
+        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad] [--metrics-out PATH] [--metrics-summary]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P] [--metrics-out PATH] [--metrics-summary]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets"
     );
     exit(2);
 }
@@ -75,6 +83,8 @@ struct FileArgs {
     options: CsvOptions,
     algo: String,
     deadline: Option<Duration>,
+    metrics_out: Option<String>,
+    metrics_summary: bool,
 }
 
 impl FileArgs {
@@ -87,6 +97,36 @@ impl FileArgs {
             None => Budget::unlimited(),
         }
     }
+
+    /// Switches telemetry recording on when either metrics flag was given.
+    fn arm_metrics(&self) {
+        if self.metrics_out.is_some() || self.metrics_summary {
+            if !fd_telemetry::compiled() {
+                eprintln!(
+                    "note: this build has no `telemetry` feature; the snapshot will be empty"
+                );
+            }
+            fd_telemetry::set_enabled(true);
+        }
+    }
+
+    /// Serializes/prints the telemetry snapshot per the metrics flags.
+    fn emit_metrics(&self) {
+        if self.metrics_out.is_none() && !self.metrics_summary {
+            return;
+        }
+        let snap = fd_telemetry::snapshot();
+        if let Some(path) = &self.metrics_out {
+            if let Err(e) = std::fs::write(path, snap.to_json()) {
+                eprintln!("cannot write metrics to {path}: {e}");
+                exit(1);
+            }
+            eprintln!("metrics written to {path}");
+        }
+        if self.metrics_summary {
+            eprint!("{}", snap.summary());
+        }
+    }
 }
 
 fn parse_file_args(args: &[String]) -> FileArgs {
@@ -94,6 +134,8 @@ fn parse_file_args(args: &[String]) -> FileArgs {
     let mut options = CsvOptions::default();
     let mut algo = "euler".to_string();
     let mut deadline = None;
+    let mut metrics_out = None;
+    let mut metrics_summary = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -108,6 +150,8 @@ fn parse_file_args(args: &[String]) -> FileArgs {
                 let ms: u64 = v.parse().unwrap_or_else(|_| usage());
                 deadline = Some(Duration::from_millis(ms));
             }
+            "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--metrics-summary" => metrics_summary = true,
             "--on-ragged" => {
                 options.on_ragged = match it.next().unwrap_or_else(|| usage()).as_str() {
                     "error" => RaggedPolicy::Error,
@@ -122,7 +166,14 @@ fn parse_file_args(args: &[String]) -> FileArgs {
             _ => usage(),
         }
     }
-    FileArgs { path: path.unwrap_or_else(|| usage()), options, algo, deadline }
+    FileArgs {
+        path: path.unwrap_or_else(|| usage()),
+        options,
+        algo,
+        deadline,
+        metrics_out,
+        metrics_summary,
+    }
 }
 
 fn load(path: &str, options: &CsvOptions) -> Relation {
@@ -190,6 +241,7 @@ fn run_algo(name: &str, relation: &Relation, budget: &Budget) -> (FdSet, Termina
 
 fn discover(args: &[String]) {
     let fa = parse_file_args(args);
+    fa.arm_metrics();
     let relation = load(&fa.path, &fa.options);
     eprintln!(
         "{}: {} rows x {} attributes, algorithm {}",
@@ -209,6 +261,7 @@ fn discover(args: &[String]) {
     } else {
         eprintln!("{} FDs in {:.3}s", fds.len(), start.elapsed().as_secs_f64());
     }
+    fa.emit_metrics();
     emit_lines(fds.iter().map(|fd| fd.display(relation.column_names()).to_string()));
 }
 
@@ -220,8 +273,10 @@ fn profile_cmd(args: &[String]) {
 
 fn keys(args: &[String]) {
     let fa = parse_file_args(args);
+    fa.arm_metrics();
     let relation = load(&fa.path, &fa.options);
     let (fds, termination) = run_algo(&fa.algo, &relation, &fa.budget());
+    fa.emit_metrics();
     if termination.is_partial() {
         eprintln!("budget tripped ({termination}): keys below reflect a partial FD set");
     }
@@ -243,6 +298,7 @@ fn keys(args: &[String]) {
 
 fn compare(args: &[String]) {
     let fa = parse_file_args(args);
+    fa.arm_metrics();
     let relation = load(&fa.path, &fa.options);
     println!(
         "{}: {} rows x {} attributes",
@@ -262,6 +318,7 @@ fn compare(args: &[String]) {
         let mark = if termination.is_partial() { "*" } else { "" };
         println!("{name:<8} {ms:>10.2} {:>8} {f1:>7.3}{mark}", fds.len());
     }
+    fa.emit_metrics();
 }
 
 fn generate(args: &[String]) {

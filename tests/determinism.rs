@@ -81,6 +81,28 @@ fn thread_count_is_invisible_in_the_result() {
 }
 
 #[test]
+fn telemetry_flag_is_invisible_in_the_result() {
+    // Observability must be read-only: with the runtime flag off and on, on
+    // 1 and 4 threads, discovery yields a byte-identical FD set and growth
+    // trace. `set_enabled` is always callable (feature off it is a no-op on
+    // a constant-false `is_enabled`), so this test needs no cfg gate.
+    let relation = synth::dataset_spec("adult").unwrap().generate(4_000);
+    let mut renders: Vec<String> = Vec::new();
+    for threads in [1usize, 4] {
+        let algo = EulerFd::with_config(EulerFdConfig::default().with_threads(threads));
+        for on in [false, true] {
+            fd_telemetry::set_enabled(on);
+            let (fds, rep) = algo.discover_with_report(&relation);
+            renders.push(format!("{fds:?}|{:?}|{:?}", rep.gr_ncover, rep.gr_pcover));
+        }
+    }
+    fd_telemetry::set_enabled(false);
+    for render in &renders[1..] {
+        assert_eq!(&renders[0], render, "telemetry flag or thread count leaked into the result");
+    }
+}
+
+#[test]
 fn row_and_column_restrictions_are_stable() {
     let spec = synth::dataset_spec("plista").unwrap();
     let full = spec.generate(800);

@@ -1,0 +1,80 @@
+//! TelemetrySnapshot schema gate (`fd-telemetry/v1`).
+//!
+//! Two layers: an in-process check that a freshly captured snapshot always
+//! serializes every schema key, and a file-based check driven by
+//! `scripts/check.sh`, which builds `fdtool --features telemetry`, runs
+//! `fdtool discover data/patient.csv --metrics-out <tmp>`, and points the
+//! `METRICS_JSON` environment variable at the result. The file check is a
+//! no-op when the variable is unset so plain `cargo test` stays hermetic.
+//!
+//! The checks are deliberately string-level (no JSON parser in the tree):
+//! the serializer is hand-rolled, so asserting on the exact rendered tokens
+//! is what actually pins the wire format.
+
+/// Every top-level key `TelemetrySnapshot::to_json` must emit, in the
+/// `fd-telemetry/v1` schema.
+const REQUIRED_KEYS: [&str; 8] = [
+    "schema",
+    "version",
+    "compiled",
+    "enabled",
+    "counters",
+    "histograms",
+    "events",
+    "events_dropped",
+];
+
+fn assert_schema(json: &str, origin: &str) {
+    for key in REQUIRED_KEYS {
+        assert!(
+            json.contains(&format!("\"{key}\":")),
+            "{origin}: missing schema key \"{key}\""
+        );
+    }
+    assert!(
+        json.contains(&format!("\"schema\": \"{}\"", fd_telemetry::SCHEMA)),
+        "{origin}: schema tag is not {:?}",
+        fd_telemetry::SCHEMA
+    );
+    assert!(
+        json.contains(&format!("\"version\": {}", fd_telemetry::SNAPSHOT_VERSION)),
+        "{origin}: snapshot version is not {}",
+        fd_telemetry::SNAPSHOT_VERSION
+    );
+    // A snapshot is one JSON object: first byte `{`, last byte `}`.
+    let trimmed = json.trim();
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'), "{origin}: not a JSON object");
+}
+
+#[test]
+fn captured_snapshot_serializes_all_schema_keys() {
+    let snap = fd_telemetry::snapshot();
+    assert_schema(&snap.to_json(), "in-process snapshot");
+}
+
+#[test]
+fn snapshot_reports_compile_state_honestly() {
+    let json = fd_telemetry::snapshot().to_json();
+    let expected = format!("\"compiled\": {}", fd_telemetry::compiled());
+    assert!(json.contains(&expected), "snapshot must record the feature state: {expected}");
+}
+
+#[test]
+fn metrics_file_from_env_matches_schema() {
+    let Ok(path) = std::env::var("METRICS_JSON") else {
+        return; // not running under scripts/check.sh
+    };
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("METRICS_JSON={path} is unreadable: {e}"));
+    assert_schema(&json, &path);
+    // check.sh builds fdtool with --features telemetry and arms the flag via
+    // --metrics-out, so the exported file must reflect a live registry.
+    assert!(
+        json.contains("\"compiled\": true"),
+        "{path}: fdtool was not built with --features telemetry"
+    );
+    assert!(
+        json.contains("\"enabled\": true"),
+        "{path}: --metrics-out did not arm the registry"
+    );
+}
