@@ -11,7 +11,7 @@
 
 use crate::fdep::seed_empty_lhs_non_fds;
 use fd_core::{AttrSet, Budget, FastHashSet, NCover, Termination};
-use fd_relation::{sampling_clusters, Relation, RowId};
+use fd_relation::{sampling_clusters, Relation, RowId, RowMajor};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration for agree-set collection.
@@ -71,18 +71,23 @@ impl AgreeSetCollector {
                 return (None, Termination::PairBudget);
             }
         }
-        // One pair costs one label comparison per attribute; hand the
-        // average per-cluster unit count to the shared adaptive policy.
+        // Cost hint in u32-compare-equivalent units per item (= cluster):
+        // one pair costs one label comparison per attribute, so the hint is
+        // the mean pair count per cluster times the width.
         let cost_hint = total
             .saturating_mul(relation.n_attrs() as u64)
             .checked_div(clusters.len() as u64)
             .unwrap_or(0);
         let workers =
             fd_core::parallel::decide_at("agree_sets", clusters.len(), cost_hint, self.threads);
+        // All pair comparisons below run on the row-major mirror: built once
+        // per collection, it turns every agree set into a contiguous scan
+        // the bit-packed kernel handles word-wide.
+        let row_major = relation.row_major();
         let (distinct, termination) = if workers > 1 {
-            parallel_distinct_agree_sets(relation, &clusters, workers, budget)
+            parallel_distinct_agree_sets(&row_major, &clusters, workers, budget)
         } else {
-            sequential_distinct_agree_sets(relation, &clusters, budget)
+            sequential_distinct_agree_sets(&row_major, &clusters, budget)
         };
         let mut ncover = NCover::new(relation.n_attrs());
         seed_empty_lhs_non_fds(relation, &mut ncover);
@@ -98,7 +103,7 @@ fn pairs_in(cluster: &[RowId]) -> u64 {
 }
 
 fn sequential_distinct_agree_sets(
-    relation: &Relation,
+    rows: &RowMajor,
     clusters: &[Vec<RowId>],
     budget: &Budget,
 ) -> (FastHashSet<AttrSet>, Termination) {
@@ -110,7 +115,7 @@ fn sequential_distinct_agree_sets(
         }
         for i in 0..cluster.len() {
             for j in i + 1..cluster.len() {
-                seen.insert(relation.agree_set(cluster[i], cluster[j]));
+                seen.insert(rows.agree_set(cluster[i], cluster[j]));
             }
         }
         pairs += pairs_in(cluster);
@@ -119,7 +124,7 @@ fn sequential_distinct_agree_sets(
 }
 
 fn parallel_distinct_agree_sets(
-    relation: &Relation,
+    rows: &RowMajor,
     clusters: &[Vec<RowId>],
     threads: usize,
     budget: &Budget,
@@ -156,7 +161,7 @@ fn parallel_distinct_agree_sets(
                         }
                         for i in 0..cluster.len() {
                             for j in i + 1..cluster.len() {
-                                seen.insert(relation.agree_set(cluster[i], cluster[j]));
+                                seen.insert(rows.agree_set(cluster[i], cluster[j]));
                             }
                         }
                         pairs_done.fetch_add(pairs_in(cluster), Ordering::Relaxed);

@@ -26,7 +26,7 @@
 
 use crate::fdep::seed_empty_lhs_non_fds;
 use fd_core::{AttrId, AttrSet, FastHashSet, Fd, FdSet, FdTree, NCover};
-use fd_relation::{sampling_clusters_cached, FdAlgorithm, PliCache, Relation, RowId};
+use fd_relation::{sampling_clusters_cached, FdAlgorithm, PliCache, Relation, RowId, RowMajor};
 
 /// The HyFD exact hybrid algorithm.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +49,10 @@ impl Default for HyFd {
 /// monotonically, so no tuple pair is ever compared twice.
 struct Sampler {
     clusters: Vec<Vec<RowId>>,
+    /// Row-major mirror for the windowed comparison loop: pair comparison is
+    /// the sampler's hot path, and the bit-packed kernel wants contiguous
+    /// rows, not a strided column gather.
+    row_major: RowMajor,
     window: usize,
     exhausted: bool,
     seen_agree: FastHashSet<AttrSet>,
@@ -60,6 +64,7 @@ impl Sampler {
     fn new(relation: &Relation, cache: &mut PliCache) -> Self {
         Sampler {
             clusters: sampling_clusters_cached(relation, cache),
+            row_major: relation.row_major(),
             window: 1,
             exhausted: false,
             seen_agree: FastHashSet::default(),
@@ -69,7 +74,7 @@ impl Sampler {
     /// Runs windowed comparison rounds until efficiency drops below the
     /// threshold or the clusters are exhausted. Returns the fresh agree sets
     /// whose non-FDs changed the cover (only these need inverting).
-    fn run(&mut self, relation: &Relation, ncover: &mut NCover, threshold: f64) -> Vec<AttrSet> {
+    fn run(&mut self, ncover: &mut NCover, threshold: f64) -> Vec<AttrSet> {
         let _phase = fd_telemetry::span!("hyfd.sample");
         let mut fresh = Vec::new();
         while !self.exhausted {
@@ -82,7 +87,7 @@ impl Sampler {
                 }
                 any_pair = true;
                 for i in 0..cluster.len() - self.window {
-                    let agree = relation.agree_set(cluster[i], cluster[i + self.window]);
+                    let agree = self.row_major.agree_set(cluster[i], cluster[i + self.window]);
                     comparisons += 1;
                     if self.seen_agree.insert(agree) {
                         let added = ncover.add_agree_set(agree);
@@ -184,7 +189,7 @@ impl FdAlgorithm for HyFd {
         // derives every LHS partition from.
         let mut cache = PliCache::with_default_budget();
         let mut sampler = Sampler::new(relation, &mut cache);
-        sampler.run(relation, &mut ncover, self.efficiency_threshold);
+        sampler.run(&mut ncover, self.efficiency_threshold);
 
         // Induce the initial candidate tree from the sampled negative cover.
         let mut tree = FdTree::new(m);
@@ -238,7 +243,7 @@ impl FdAlgorithm for HyFd {
             let ratio = invalid as f64 / candidates.len() as f64;
             if ratio > self.invalid_switch_ratio && !sampler.exhausted {
                 fd_telemetry::counter!("hyfd.switchbacks", 1);
-                for agree in sampler.run(relation, &mut ncover, self.efficiency_threshold) {
+                for agree in sampler.run(&mut ncover, self.efficiency_threshold) {
                     for rhs in 0..m as AttrId {
                         if agree.contains(rhs) {
                             continue;

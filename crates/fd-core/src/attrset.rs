@@ -15,7 +15,12 @@ pub type AttrId = u16;
 /// Maximum number of attributes an [`AttrSet`] can hold.
 pub const MAX_ATTRS: usize = 256;
 
-const WORDS: usize = MAX_ATTRS / 64;
+/// Number of `u64` words backing an [`AttrSet`] (`MAX_ATTRS / 64`). Exposed
+/// for kernels that assemble sets word-wise — bit `i` of word `w` is
+/// attribute `w * 64 + i` — rather than via per-attribute [`AttrSet::insert`].
+pub const ATTR_WORDS: usize = MAX_ATTRS / 64;
+
+const WORDS: usize = ATTR_WORDS;
 
 /// A set of attribute ids backed by a fixed 256-bit bitmap.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
@@ -50,6 +55,21 @@ impl AttrSet {
         let mut s = Self::empty();
         s.insert(a);
         s
+    }
+
+    /// Builds a set directly from its backing words (bit `i` of word `w` is
+    /// attribute `w * 64 + i`). The inverse of [`AttrSet::to_words`]; used by
+    /// the bit-packed comparison kernel, which produces whole equality words
+    /// instead of inserting attributes one at a time.
+    #[inline]
+    pub const fn from_words(words: [u64; WORDS]) -> Self {
+        AttrSet { words }
+    }
+
+    /// The backing words of the set (see [`AttrSet::from_words`]).
+    #[inline]
+    pub const fn to_words(&self) -> [u64; WORDS] {
+        self.words
     }
 
     /// True if no attribute is present.
@@ -323,6 +343,19 @@ mod tests {
         let v: Vec<AttrId> = s.iter().collect();
         assert_eq!(v, vec![3, 7, 64, 200]);
         assert_eq!(s.first(), Some(3));
+    }
+
+    #[test]
+    fn words_roundtrip_and_bit_layout() {
+        let s = AttrSet::from_attrs([0u16, 7, 63, 64, 129, 255]);
+        assert_eq!(AttrSet::from_words(s.to_words()), s);
+        // Bit i of word w is attribute w*64 + i.
+        let w = s.to_words();
+        assert_eq!(w[0], (1 << 0) | (1 << 7) | (1 << 63));
+        assert_eq!(w[1], 1 << 0);
+        assert_eq!(w[2], 1 << 1);
+        assert_eq!(w[3], 1 << 63);
+        assert_eq!(AttrSet::from_words([0; ATTR_WORDS]), AttrSet::empty());
     }
 
     #[test]

@@ -239,78 +239,67 @@ impl PCover {
         for fd in non_fds.drain(..) {
             per_rhs_work[fd.rhs as usize].push(fd.lhs);
         }
-        let mut jobs: Vec<(AttrId, &mut LhsTree, Vec<AttrSet>)> = Vec::new();
+        /// One RHS tree's work list plus its result slots. A job is only
+        /// ever processed by the single worker that claims its index, so
+        /// per-job state needs no aggregation ordering.
+        struct InvertJob<'t> {
+            rhs: AttrId,
+            tree: &'t mut LhsTree,
+            work: Vec<AttrSet>,
+            delta: InvertDelta,
+            unprocessed: Vec<AttrSet>,
+        }
+        let mut jobs: Vec<InvertJob<'_>> = Vec::new();
         for ((rhs, tree), work) in self.per_rhs.iter_mut().enumerate().zip(per_rhs_work) {
             if !work.is_empty() {
-                jobs.push((rhs as AttrId, tree, work));
+                jobs.push(InvertJob {
+                    rhs: rhs as AttrId,
+                    tree,
+                    work,
+                    delta: InvertDelta::default(),
+                    unprocessed: Vec::new(),
+                });
             }
         }
         // Small batches invert inline: spawning threads costs more than the
         // tree surgery it would parallelize. The cutoff cannot change the
-        // result, only the wall clock. One inversion walks ~1Ki tree nodes,
-        // the cost hint handed to the shared adaptive policy.
+        // result, only the wall clock. One inversion walks ~1Ki tree nodes —
+        // the per-item cost hint (in u32-compare-equivalent units) handed to
+        // the shared adaptive policy.
         let workers = crate::parallel::decide_at("cover_invert", total, INVERSION_COST_UNITS, threads)
             .min(jobs.len().max(1));
-        let mut delta = InvertDelta::default();
-        // Work items a cancelled shard did not get to, pushed back into
-        // `non_fds` after the (possibly parallel) drain.
-        let mut leftovers: Vec<(AttrId, Vec<AttrSet>)> = Vec::new();
+        let run_job = |job: &mut InvertJob<'_>| {
+            for lhs in job.work.drain(..) {
+                if token.is_some_and(|t| t.is_cancelled()) {
+                    job.unprocessed.push(lhs);
+                    continue;
+                }
+                job.delta += invert_into_tree(job.tree, n, job.rhs, &lhs);
+            }
+        };
         if workers <= 1 {
-            for (rhs, tree, mut work) in jobs {
-                let mut unprocessed = Vec::new();
-                for lhs in work.drain(..) {
-                    if token.is_some_and(|t| t.is_cancelled()) {
-                        unprocessed.push(lhs);
-                        continue;
-                    }
-                    delta += invert_into_tree(tree, n, rhs, &lhs);
-                }
-                if !unprocessed.is_empty() {
-                    leftovers.push((rhs, unprocessed));
-                }
+            for job in &mut jobs {
+                run_job(job);
             }
         } else {
-            let chunk = jobs.len().div_ceil(workers);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = jobs
-                    .chunks_mut(chunk)
-                    .map(|job_chunk| {
-                        s.spawn(move || {
-                            let mut local = InvertDelta::default();
-                            let mut local_left: Vec<(AttrId, Vec<AttrSet>)> = Vec::new();
-                            for (rhs, tree, work) in job_chunk {
-                                let mut unprocessed = Vec::new();
-                                for lhs in work.drain(..) {
-                                    if token.is_some_and(|t| t.is_cancelled()) {
-                                        unprocessed.push(lhs);
-                                        continue;
-                                    }
-                                    local += invert_into_tree(tree, n, *rhs, &lhs);
-                                }
-                                if !unprocessed.is_empty() {
-                                    local_left.push((*rhs, unprocessed));
-                                }
-                            }
-                            (local, local_left)
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    match handle.join() {
-                        Ok((local, local_left)) => {
-                            delta += local;
-                            leftovers.extend(local_left);
-                        }
-                        // Re-raise the worker's own panic instead of a
-                        // generic secondary one: `catch_unwind` in the bench
-                        // runner then reports the original message.
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    }
-                }
+            // Work-stealing fan-out: each per-RHS job is one claimable
+            // chunk. Skewed RHS work lists (one hot attribute can dominate)
+            // no longer idle workers behind a fixed split; determinism holds
+            // because each tree is mutated by exactly one claimer, in the
+            // job's sorted order, regardless of which worker that is.
+            let slots: Vec<std::sync::Mutex<&mut InvertJob<'_>>> =
+                jobs.iter_mut().map(std::sync::Mutex::new).collect();
+            crate::parallel::fan_out_stealing("cover_invert", slots.len(), workers, |i| {
+                let mut job = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+                run_job(&mut job);
             });
         }
-        for (rhs, work) in leftovers {
-            non_fds.extend(work.into_iter().map(|lhs| Fd::new(lhs, rhs)));
+        // Aggregate in job (= RHS) order, never completion order, so the
+        // leftovers pushed back into `non_fds` are schedule-invariant.
+        let mut delta = InvertDelta::default();
+        for job in jobs {
+            delta += job.delta;
+            non_fds.extend(job.unprocessed.into_iter().map(|lhs| Fd::new(lhs, job.rhs)));
         }
         self.len = self.len + delta.added - delta.removed;
         delta

@@ -46,7 +46,7 @@ pub mod metrics;
 pub mod naive;
 pub mod parallel;
 
-pub use attrset::{AttrId, AttrSet, MAX_ATTRS};
+pub use attrset::{AttrId, AttrSet, ATTR_WORDS, MAX_ATTRS};
 pub use budget::{Budget, CancelToken, Termination, Watchdog};
 pub use error::DiscoveryError;
 pub use closure::{bcnf_violations, candidate_keys, closure, equivalent, implies, non_redundant_cover};
@@ -58,4 +58,4 @@ pub use index::FdIndex;
 pub use lhs_tree::LhsTree;
 pub use metrics::Accuracy;
 pub use naive::NaiveLhsStore;
-pub use parallel::{available_cores, clamp_threads, decide};
+pub use parallel::{available_cores, clamp_threads, decide, fan_out_stealing, StealStats};

@@ -19,8 +19,35 @@
 //! function of its arguments, so the thread-invariance property tests can
 //! drive the parallel code paths on any host. All machine awareness lives in
 //! [`clamp_threads`], which is applied once at the configuration boundary.
+//!
+//! Once `decide` has chosen a worker count, [`fan_out_stealing`] runs the
+//! batch: the work is split into more chunks than workers and an atomic
+//! cursor hands chunks out on demand, so a worker that drew cheap chunks
+//! steals the next index instead of idling behind a fixed `div_ceil` split.
+//! Each chunk owns a pre-assigned output slot, which is what makes the
+//! schedule's nondeterminism invisible to callers — see the function docs.
+//!
+//! ## Cost-hint units
+//!
+//! `decide`'s `cost_hint` is the **approximate per-item cost in
+//! u32-compare-equivalent units** — one label comparison, one row move, or
+//! one tree-node visit all count as roughly one unit. Every call site must
+//! pass a *per-item* figure, never a batch total:
+//!
+//! | site                | items        | per-item cost hint                  |
+//! |---------------------|--------------|-------------------------------------|
+//! | `pair_compare`      | tuple pairs  | `width` (one compare per attribute) |
+//! | `cover_invert`      | non-FDs      | ~1Ki tree-node visits per inversion |
+//! | `sampling_clusters` | attributes   | `n_rows` (counting sort row moves)  |
+//! | `tane_products`     | candidates   | `n_rows` (one row move per product) |
+//! | `agree_sets`        | clusters     | mean `pairs_in(c) × width`          |
+//!
+//! The bit-packed kernel compares ~8 attributes per cycle, so `pair_compare`
+//! slightly overstates its cost in these units; that only makes the policy
+//! engage parallelism a little early, which the per-worker quantum absorbs.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Minimum work units per worker before spawning is worth it.
 ///
@@ -29,6 +56,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// engaged at 4096 pairs × ~16 attrs ≈ 64Ki units per worker, and cover
 /// inversion at 64 jobs × ~1Ki tree-node visits.
 pub const MIN_UNITS_PER_WORKER: u64 = 65_536;
+
+/// Chunks per worker a work-stealing fan-out aims for. More chunks mean
+/// finer rebalancing under skew but more claim traffic; 4 keeps the claim
+/// cost negligible while letting one slow chunk be offset by three cheap
+/// ones elsewhere.
+pub const STEAL_CHUNKS_PER_WORKER: usize = 4;
 
 /// Cached `available_parallelism()` (the syscall is not free and the value
 /// cannot change mid-process for our purposes). 0 = not yet queried.
@@ -62,6 +95,10 @@ pub fn clamp_threads(requested: usize) -> usize {
 /// `work_items` items costing roughly `cost_hint` units each, given an
 /// already-clamped budget of `threads`.
 ///
+/// `cost_hint` is the approximate **per-item** cost in u32-compare-equivalent
+/// units (see the module docs for the unit table) — callers must not pass a
+/// batch total, or the policy over-engages by a factor of `work_items`.
+///
 /// Returns a value in `1..=threads.max(1)`, never exceeding `work_items`
 /// (an idle worker is pure overhead) and never splitting the batch finer
 /// than [`MIN_UNITS_PER_WORKER`] units per worker.
@@ -85,6 +122,130 @@ pub fn decide_at(site: &str, work_items: usize, cost_hint: u64, threads: usize) 
             .observe_by_name(&format!("parallel.workers.{site}"), workers as u64);
     }
     workers
+}
+
+/// Counters of one [`fan_out_stealing`] call, summed over its workers.
+///
+/// All fields are *diagnostics*: which worker claims which chunk depends on
+/// scheduling, so `steals` varies run to run. Nothing downstream of a
+/// fan-out may depend on these values.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Chunks claimed in total (equals the fan-out's chunk count).
+    pub chunks_claimed: u64,
+    /// Claims that diverged from the fixed `div_ceil` split — the chunk ran
+    /// on a different worker than a static split would have assigned it to.
+    /// 0 means the static split would have balanced perfectly; high values
+    /// mean skew made workers redistribute.
+    pub steals: u64,
+    /// Worker threads that participated (1 = the batch ran inline).
+    pub workers: usize,
+}
+
+/// How many chunks a work-stealing fan-out should split `items` into:
+/// [`STEAL_CHUNKS_PER_WORKER`] per worker, but never chunks smaller than
+/// `min_items_per_chunk` (claim and slot overhead must stay amortized) and
+/// never more chunks than items.
+pub fn steal_chunk_count(items: usize, workers: usize, min_items_per_chunk: usize) -> usize {
+    if items == 0 {
+        return 0;
+    }
+    let by_min = items.div_ceil(min_items_per_chunk.max(1));
+    (workers * STEAL_CHUNKS_PER_WORKER).min(by_min).min(items).max(1)
+}
+
+/// Runs `run_chunk(i)` for every `i in 0..n_chunks` on up to `workers`
+/// scoped threads, with chunk indices handed out by an atomic claim cursor:
+/// a worker finishing its chunk immediately steals the next unclaimed index,
+/// so skewed per-chunk costs no longer idle workers the way a fixed
+/// `div_ceil` split did.
+///
+/// **Determinism contract:** every chunk index is claimed exactly once, and
+/// `run_chunk` must write only to state owned by its chunk index (a
+/// pre-assigned output slot). Under that contract the set of executed
+/// chunks — and therefore the caller-visible result — is byte-identical for
+/// every worker count and schedule; only the wall clock and the
+/// [`StealStats`] vary.
+///
+/// When telemetry is enabled, records per-site steal counters
+/// (`parallel.steal_count`, `parallel.chunks_claimed`,
+/// `parallel.steals.<site>`) and a per-worker busy-fraction histogram
+/// (`parallel.busy_pct.<site>`, percent of scope wall-clock spent inside
+/// `run_chunk`). Panics in `run_chunk` are re-raised on the caller's thread.
+pub fn fan_out_stealing<F>(site: &str, n_chunks: usize, workers: usize, run_chunk: F) -> StealStats
+where
+    F: Fn(usize) + Sync,
+{
+    if n_chunks == 0 {
+        return StealStats::default();
+    }
+    if workers <= 1 || n_chunks == 1 {
+        for i in 0..n_chunks {
+            run_chunk(i);
+        }
+        return StealStats { chunks_claimed: n_chunks as u64, steals: 0, workers: 1 };
+    }
+    let telemetry = fd_telemetry::is_enabled();
+    let cursor = AtomicUsize::new(0);
+    let steal_total = AtomicU64::new(0);
+    // The static split a non-stealing fan-out would have used; claims
+    // outside a worker's static share count as steals.
+    let static_share = n_chunks.div_ceil(workers).max(1);
+    let scope_start = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let cursor = &cursor;
+                let steal_total = &steal_total;
+                let run_chunk = &run_chunk;
+                s.spawn(move || {
+                    let mut steals = 0u64;
+                    let mut busy = std::time::Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_chunks {
+                            break;
+                        }
+                        if i / static_share != w {
+                            steals += 1;
+                        }
+                        if telemetry {
+                            let t0 = Instant::now();
+                            run_chunk(i);
+                            busy += t0.elapsed();
+                        } else {
+                            run_chunk(i);
+                        }
+                    }
+                    steal_total.fetch_add(steals, Ordering::Relaxed);
+                    busy
+                })
+            })
+            .collect();
+        for handle in handles {
+            let busy = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            if telemetry {
+                let wall = scope_start.elapsed().as_secs_f64().max(1e-9);
+                let pct = ((busy.as_secs_f64() / wall) * 100.0).min(100.0) as u64;
+                fd_telemetry::registry()
+                    .observe_by_name(&format!("parallel.busy_pct.{site}"), pct);
+            }
+        }
+    });
+    let stats = StealStats {
+        chunks_claimed: n_chunks as u64,
+        steals: steal_total.load(Ordering::Relaxed),
+        workers,
+    };
+    fd_telemetry::counter!("parallel.steal_count", stats.steals);
+    fd_telemetry::counter!("parallel.chunks_claimed", stats.chunks_claimed);
+    if telemetry {
+        fd_telemetry::registry()
+            .counter_add_by_name(&format!("parallel.steals.{site}"), stats.steals);
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -153,5 +314,73 @@ mod tests {
             assert!(w >= prev, "items={items}: {w} < {prev}");
             prev = w;
         }
+    }
+
+    #[test]
+    fn steal_chunk_count_bounds() {
+        assert_eq!(steal_chunk_count(0, 4, 256), 0);
+        // 4 chunks per worker when items allow.
+        assert_eq!(steal_chunk_count(100_000, 4, 256), 16);
+        // Capped by the minimum chunk size...
+        assert_eq!(steal_chunk_count(1_000, 4, 256), 4);
+        assert_eq!(steal_chunk_count(300, 8, 256), 2);
+        // ...and never more chunks than items.
+        assert_eq!(steal_chunk_count(3, 8, 1), 3);
+        assert_eq!(steal_chunk_count(1, 8, 256), 1);
+    }
+
+    #[test]
+    fn stealing_claims_every_chunk_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        for workers in [1usize, 2, 3, 8] {
+            let n_chunks = 23;
+            let hits: Vec<AtomicU32> = (0..n_chunks).map(|_| AtomicU32::new(0)).collect();
+            let stats = fan_out_stealing("test.claims", n_chunks, workers, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, hit) in hits.iter().enumerate() {
+                assert_eq!(hit.load(Ordering::Relaxed), 1, "chunk {i} at workers={workers}");
+            }
+            assert_eq!(stats.chunks_claimed, n_chunks as u64);
+            assert!(stats.workers >= 1 && stats.workers <= workers.max(1));
+        }
+    }
+
+    #[test]
+    fn stealing_results_match_sequential_for_any_worker_count() {
+        // Each chunk writes a pure function of its index into its own slot;
+        // the assembled output must be schedule-invariant.
+        let n_chunks = 64;
+        let sequential: Vec<u64> = (0..n_chunks as u64).map(|i| i * i + 1).collect();
+        for workers in [1usize, 2, 3, 4, 7, 16] {
+            let out: Vec<std::sync::Mutex<u64>> =
+                (0..n_chunks).map(|_| std::sync::Mutex::new(0)).collect();
+            fan_out_stealing("test.slots", n_chunks, workers, |i| {
+                *out[i].lock().unwrap_or_else(|e| e.into_inner()) = (i as u64) * (i as u64) + 1;
+            });
+            let got: Vec<u64> =
+                out.iter().map(|m| *m.lock().unwrap_or_else(|e| e.into_inner())).collect();
+            assert_eq!(got, sequential, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn stealing_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            fan_out_stealing("test.panic", 8, 2, |i| {
+                if i == 5 {
+                    panic!("chunk 5 exploded");
+                }
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("chunk 5 exploded"), "original panic message lost: {msg:?}");
+    }
+
+    #[test]
+    fn empty_fan_out_is_a_no_op() {
+        let stats = fan_out_stealing("test.empty", 0, 4, |_| panic!("must not run"));
+        assert_eq!(stats, StealStats::default());
     }
 }

@@ -317,7 +317,7 @@ proptest! {
             expect_delta += pc.invert(fd);
         }
         prop_assert_eq!(pc.to_fdset(), baseline.to_fdset());
-        for threads in [1usize, 2, 4, 8] {
+        for threads in [1usize, 2, 3, 4, 7, 8] {
             let parallel = fd_core::invert_ncover_parallel(&nc, threads);
             prop_assert_eq!(parallel.to_fdset(), baseline.to_fdset(), "threads={}", threads);
             prop_assert_eq!(parallel.len(), baseline.len(), "threads={}", threads);

@@ -44,7 +44,10 @@ pub use discovery::{verify_fds, FdAlgorithm};
 pub use partition::{sampling_clusters, sampling_clusters_parallel, Partition, ProductScratch};
 pub use pli_cache::{sampling_clusters_cached, PliCache, PliCacheStats};
 pub use profile::{profile, ColumnProfile, RelationProfile};
-pub use relation::{BatchStats, NullLabeling, Relation, RelationBuilder, RowId, RowMajor};
+pub use relation::{
+    agree_of_rows, packed_agree_of_rows, BatchStats, NullLabeling, Relation, RelationBuilder,
+    RowId, RowMajor,
+};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {

@@ -394,7 +394,8 @@ pub fn sampling_clusters(relation: &Relation) -> Vec<Vec<RowId>> {
 /// order afterwards, so the result is identical for every thread count.
 pub fn sampling_clusters_parallel(relation: &Relation, threads: usize) -> Vec<Vec<RowId>> {
     let n_attrs = relation.n_attrs();
-    // Cost hint: one partitioning pass touches every row of the column.
+    // Cost hint (per-item, u32-compare-equivalent units): one partitioning
+    // pass touches every row of the column, so `n_rows` per attribute.
     let workers =
         fd_core::parallel::decide_at("sampling_clusters", n_attrs, relation.n_rows() as u64, threads);
     let stripped: Vec<Partition> = if workers <= 1 {

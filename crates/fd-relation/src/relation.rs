@@ -8,7 +8,8 @@
 //! representation and the cache-friendly layout for the pairwise row
 //! comparisons that dominate discovery time.
 
-use fd_core::{AttrId, AttrSet, FastHashMap, FastHashSet, MAX_ATTRS};
+use fd_core::{AttrId, AttrSet, FastHashMap, FastHashSet, ATTR_WORDS, MAX_ATTRS};
+use std::sync::Mutex;
 
 /// Identifier of a row (tuple) within a relation.
 pub type RowId = u32;
@@ -258,32 +259,42 @@ impl RowMajor {
         &self.data[start..start + self.width]
     }
 
-    /// The agree set of tuples `t` and `u`, computed as one linear scan of
-    /// two contiguous slices. Matches [`Relation::agree_set`] exactly.
+    /// The agree set of tuples `t` and `u`, computed by the bit-packed
+    /// word-wide kernel over two contiguous slices. Matches
+    /// [`Relation::agree_set`] (and the scalar reference [`agree_of_rows`])
+    /// exactly.
     #[inline]
     pub fn agree_set(&self, t: RowId, u: RowId) -> AttrSet {
-        agree_of_rows(self.row(t), self.row(u))
+        packed_agree_of_rows(self.row(t), self.row(u))
     }
 
     /// Agree sets of every pair in `pairs`, in pair order, computed on up to
-    /// `threads` scoped worker threads.
+    /// `threads` scoped worker threads with work-stealing chunk claiming.
     pub fn agree_sets_batch(&self, pairs: &[(RowId, RowId)], threads: usize) -> Vec<AttrSet> {
-        let mut out = vec![AttrSet::empty(); pairs.len()];
         let workers = self.plan_workers(pairs.len(), threads);
         if workers <= 1 {
-            for (slot, &(t, u)) in out.iter_mut().zip(pairs) {
-                *slot = self.agree_set(t, u);
-            }
-            return out;
+            // Single-threaded path builds its output directly — no upfront
+            // zero-fill of a vec that would be overwritten slot by slot.
+            return pairs.iter().map(|&(t, u)| self.agree_set(t, u)).collect();
         }
-        let chunk = pairs.len().div_ceil(workers);
-        std::thread::scope(|s| {
-            for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (slot, &(t, u)) in out_chunk.iter_mut().zip(pair_chunk) {
-                        *slot = self.agree_set(t, u);
-                    }
-                });
+        // Parallel path: one allocation, handed out to workers as disjoint
+        // chunk slices. Slots are pre-assigned by chunk index, so results
+        // land in pair order no matter which worker claims which chunk.
+        let mut out = vec![AttrSet::empty(); pairs.len()];
+        let n_chunks =
+            fd_core::parallel::steal_chunk_count(pairs.len(), workers, MIN_PAIRS_PER_CHUNK);
+        let chunk = pairs.len().div_ceil(n_chunks);
+        type PairSlot<'s> = Mutex<(&'s [(RowId, RowId)], &'s mut [AttrSet])>;
+        let slots: Vec<PairSlot<'_>> = pairs
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .map(Mutex::new)
+            .collect();
+        fd_core::parallel::fan_out_stealing("pair_compare", slots.len(), workers, |i| {
+            let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+            let (pair_chunk, out_chunk) = &mut *slot;
+            for (dst, &(t, u)) in out_chunk.iter_mut().zip(pair_chunk.iter()) {
+                *dst = self.agree_set(t, u);
             }
         });
         out
@@ -315,28 +326,36 @@ impl RowMajor {
             };
             return (novel, stats);
         }
-        let chunk = pairs.len().div_ceil(workers);
-        let mut stats = BatchStats::default();
+        // Work-stealing fan-out: each chunk's novelty scan lands in a slot
+        // indexed by chunk position. Concatenating slots in chunk (= plan)
+        // order afterwards means the fold downstream never observes
+        // completion order, only pair order.
+        let n_chunks =
+            fd_core::parallel::steal_chunk_count(pairs.len(), workers, MIN_PAIRS_PER_CHUNK);
+        let chunk = pairs.len().div_ceil(n_chunks);
+        let slots: Vec<Mutex<Vec<AttrSet>>> =
+            (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+        let pair_chunks: Vec<&[(RowId, RowId)]> = pairs.chunks(chunk).collect();
+        let steal = fd_core::parallel::fan_out_stealing(
+            "pair_compare",
+            pair_chunks.len(),
+            workers,
+            |i| {
+                let novel = self.novel_chunk(pair_chunks[i], seen);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = novel;
+            },
+        );
+        let mut stats = BatchStats {
+            pairs_compared: pairs.len() as u64,
+            candidates: 0,
+            workers: steal.workers,
+        };
         let mut out: Vec<AttrSet> = Vec::new();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = pairs
-                .chunks(chunk)
-                .map(|pair_chunk| s.spawn(move || self.novel_chunk(pair_chunk, seen)))
-                .collect();
-            // Join barrier: merge per-worker results and counters in plan
-            // order so the fold downstream never observes completion order.
-            for (handle, pair_chunk) in handles.into_iter().zip(pairs.chunks(chunk)) {
-                let novel = handle
-                    .join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-                stats += BatchStats {
-                    pairs_compared: pair_chunk.len() as u64,
-                    candidates: novel.len() as u64,
-                    workers: 1,
-                };
-                out.extend(novel);
-            }
-        });
+        for slot in slots {
+            let novel = slot.into_inner().unwrap_or_else(|e| e.into_inner());
+            stats.candidates += novel.len() as u64;
+            out.extend(novel);
+        }
         (out, stats)
     }
 
@@ -354,16 +373,26 @@ impl RowMajor {
     }
 
     /// Number of workers a batch of `pairs` merits under `threads`, per the
-    /// shared adaptive policy — one pair costs one label comparison per
-    /// attribute, so `width` is the cost hint.
+    /// shared adaptive policy. The cost hint is the approximate per-item
+    /// cost in u32-compare-equivalent units: one pair costs one label
+    /// comparison per attribute, so `width` is the hint (see the unit table
+    /// in `fd_core::parallel`).
     fn plan_workers(&self, pairs: usize, threads: usize) -> usize {
         fd_core::parallel::decide_at("pair_compare", pairs, self.width as u64, threads)
     }
 }
 
-/// Linear-scan agree set of two packed rows.
+/// Fewest pairs worth a claimable chunk of their own: below this, the
+/// atomic-cursor claim round-trip rivals the comparison work itself.
+const MIN_PAIRS_PER_CHUNK: usize = 1024;
+
+/// Linear-scan agree set of two packed rows — the scalar reference kernel.
+///
+/// [`packed_agree_of_rows`] is the production kernel; this per-attribute
+/// loop stays as the independently-obvious implementation the property
+/// tests compare it against.
 #[inline]
-fn agree_of_rows(a: &[u32], b: &[u32]) -> AttrSet {
+pub fn agree_of_rows(a: &[u32], b: &[u32]) -> AttrSet {
     let mut agree = AttrSet::empty();
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
         if x == y {
@@ -371,6 +400,47 @@ fn agree_of_rows(a: &[u32], b: &[u32]) -> AttrSet {
         }
     }
     agree
+}
+
+/// Bit-packed agree set of two packed rows.
+///
+/// Instead of one branch + bitmap insert per attribute, equality results are
+/// built branchlessly eight attributes at a time into a `u64` lane fragment,
+/// then OR-shifted into the output word `idx / 64` at offset `idx % 64`
+/// (bit *i* of word *w* is attribute `w*64 + i`, exactly [`AttrSet`]'s
+/// layout, so the words become the set with no per-bit inserts). The 8-wide
+/// unroll compiles to straight-line compare/mask code the vectorizer can
+/// chew on; a sub-8 tail falls back to the per-attribute path.
+///
+/// Equivalent to [`agree_of_rows`] for every input (property-tested across
+/// widths spanning the 64- and 128-bit lane boundaries).
+#[inline]
+pub fn packed_agree_of_rows(a: &[u32], b: &[u32]) -> AttrSet {
+    let mut words = [0u64; ATTR_WORDS];
+    let mut ia = a.chunks_exact(8);
+    let mut ib = b.chunks_exact(8);
+    let mut idx = 0usize;
+    for (ca, cb) in (&mut ia).zip(&mut ib) {
+        let mut bits = (ca[0] == cb[0]) as u64;
+        bits |= ((ca[1] == cb[1]) as u64) << 1;
+        bits |= ((ca[2] == cb[2]) as u64) << 2;
+        bits |= ((ca[3] == cb[3]) as u64) << 3;
+        bits |= ((ca[4] == cb[4]) as u64) << 4;
+        bits |= ((ca[5] == cb[5]) as u64) << 5;
+        bits |= ((ca[6] == cb[6]) as u64) << 6;
+        bits |= ((ca[7] == cb[7]) as u64) << 7;
+        // idx is always a multiple of 8, so an 8-bit fragment never
+        // straddles a word boundary.
+        words[idx >> 6] |= bits << (idx & 63);
+        idx += 8;
+    }
+    for (x, y) in ia.remainder().iter().zip(ib.remainder()) {
+        if x == y {
+            words[idx >> 6] |= 1u64 << (idx & 63);
+        }
+        idx += 1;
+    }
+    AttrSet::from_words(words)
 }
 
 /// How missing values are labeled by [`RelationBuilder::push_nullable_row`].
@@ -560,6 +630,28 @@ mod tests {
             vec!["a".into(), "b".into()],
             vec![vec![0, 1], vec![0]],
         );
+    }
+
+    #[test]
+    fn packed_kernel_matches_scalar_on_lane_boundaries() {
+        // Widths straddling the 8-wide unroll tail and the 64/128-bit word
+        // boundaries; labels chosen so some lanes agree and some do not.
+        for width in [1usize, 7, 8, 9, 63, 64, 65, 127, 128, 129, 200] {
+            let a: Vec<u32> = (0..width as u32).collect();
+            let b: Vec<u32> = (0..width as u32).map(|i| if i % 3 == 0 { i } else { i + 1 }).collect();
+            assert_eq!(packed_agree_of_rows(&a, &b), agree_of_rows(&a, &b), "width {width}");
+        }
+    }
+
+    #[test]
+    fn row_major_agree_set_matches_column_major() {
+        let r = patient();
+        let rm = r.row_major();
+        for t in 0..r.n_rows() as RowId {
+            for u in 0..r.n_rows() as RowId {
+                assert_eq!(rm.agree_set(t, u), r.agree_set(t, u));
+            }
+        }
     }
 
     #[test]

@@ -3,9 +3,9 @@
 
 use fd_core::{AttrId, AttrSet, FastHashSet};
 use fd_relation::{
-    read_csv, read_csv_with_report, sampling_clusters, sampling_clusters_cached,
-    sampling_clusters_parallel, synth, write_csv, CsvOptions, Partition, PliCache, RaggedPolicy,
-    Relation, RowAction, RowId,
+    agree_of_rows, packed_agree_of_rows, read_csv, read_csv_with_report, sampling_clusters,
+    sampling_clusters_cached, sampling_clusters_parallel, synth, write_csv, CsvOptions, Partition,
+    PliCache, RaggedPolicy, Relation, RowAction, RowId,
 };
 use proptest::prelude::*;
 
@@ -341,6 +341,23 @@ proptest! {
         }
     }
 
+    /// The bit-packed kernel is exactly the scalar reference for arbitrary
+    /// rows: widths sweep 1..=200, crossing the 8-wide unroll tail and the
+    /// 64- and 128-attribute lane boundaries, with labels drawn from a small
+    /// domain so agree bits are dense enough to exercise every lane.
+    #[test]
+    fn packed_kernel_matches_scalar_reference(
+        width in 1usize..=200,
+        seed in proptest::collection::vec(0u32..4, 400..=400),
+    ) {
+        let a = &seed[..width];
+        let b = &seed[200..200 + width];
+        prop_assert_eq!(packed_agree_of_rows(a, b), agree_of_rows(a, b));
+        // Self-comparison: every attribute agrees, all lanes saturate.
+        prop_assert_eq!(packed_agree_of_rows(a, a), agree_of_rows(a, a));
+        prop_assert_eq!(packed_agree_of_rows(a, a).len(), width);
+    }
+
     /// The parallel cluster population equals the sequential one exactly
     /// (per-attribute partitions are merged and deduped in attribute order).
     #[test]
@@ -504,7 +521,8 @@ fn large_batches_split_across_workers_without_changing_results() {
     let rm = relation.row_major();
     let sequential = rm.agree_sets_batch(&pairs, 1);
     assert_eq!(sequential.len(), pairs.len());
-    for threads in [2usize, 4, 8] {
+    // Odd worker counts exercise ragged chunk splits under work stealing.
+    for threads in [2usize, 3, 4, 5, 8] {
         assert_eq!(rm.agree_sets_batch(&pairs, threads), sequential, "threads={threads}");
     }
 }
@@ -529,7 +547,7 @@ fn novel_agree_sets_fold_matches_sequential_novelty_scan() {
             oracle.push(agree);
         }
     }
-    for threads in [1usize, 2, 4, 8] {
+    for threads in [1usize, 2, 3, 4, 7, 8] {
         let (candidates, stats) = rm.novel_agree_sets(&pairs, &seen, threads);
         assert_eq!(stats.pairs_compared, pairs.len() as u64, "threads={threads}");
         assert_eq!(stats.candidates, candidates.len() as u64, "threads={threads}");

@@ -13,7 +13,20 @@ cargo test -q
 # transparency, algorithm invariance). Runs as part of `cargo test` too; the
 # explicit invocation keeps it visible and fails fast with its own name.
 cargo test -q -p fd-relation --test proptests
+# Kernel-equivalence gate: the bit-packed agree-set kernel must match the
+# scalar reference for arbitrary rows across the 64/128-attribute lane
+# boundaries, and work-stealing folds must match the sequential scan.
+cargo test -q -p fd-relation --test proptests packed_kernel_matches_scalar_reference
+cargo test -q -p fd-relation --test proptests novel_agree_sets_fold_matches_sequential_novelty_scan
+cargo test -q -p fd-core --lib parallel::
 cargo clippy --workspace -- -D warnings -A clippy::needless_range_loop
+
+# Multi-core scaling gate: packed-kernel speedup tripwire, byte-identical
+# discovery output across worker counts, and (only when the host has >= 2
+# cores; auto-skipped on 1-core containers) a 2-worker sampling-throughput
+# floor of 1.2x.
+cargo run --release -p fd-bench --bin bench_smoke -- \
+    --scaling-gate --rows 30000 --repeat 1
 
 # Telemetry schema gate: build the telemetry-on binary, export a real
 # metrics file from a real discovery run on the bundled paper example, and

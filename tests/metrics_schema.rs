@@ -60,6 +60,49 @@ fn snapshot_reports_compile_state_honestly() {
 }
 
 #[test]
+fn work_stealing_counters_and_busy_histogram_join_the_snapshot() {
+    if !fd_telemetry::compiled() {
+        return; // plain build: recording is compiled out, nothing to assert
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    fd_telemetry::set_enabled(true);
+    let hits = AtomicUsize::new(0);
+    let stats = fd_core::fan_out_stealing("schema_probe", 8, 2, |_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    fd_telemetry::set_enabled(false);
+    assert_eq!(hits.load(Ordering::Relaxed), 8, "every chunk must run exactly once");
+    assert_eq!(stats.chunks_claimed, 8);
+
+    let snap = fd_telemetry::snapshot();
+    let json = snap.to_json();
+    // Counters: every fan-out reports its claims; steals may be zero but the
+    // counter key must exist once any stealing fan-out has run.
+    assert!(
+        snap.counter("parallel.chunks_claimed").unwrap_or(0) >= 8,
+        "parallel.chunks_claimed must count the probe's chunks"
+    );
+    assert!(
+        json.contains("\"parallel.chunks_claimed\":"),
+        "snapshot must serialize parallel.chunks_claimed"
+    );
+    assert!(
+        json.contains("\"parallel.steal_count\":"),
+        "snapshot must serialize parallel.steal_count"
+    );
+    // Histogram: one busy-fraction observation per worker, per site.
+    let busy = snap
+        .histogram("parallel.busy_pct.schema_probe")
+        .expect("per-site worker-busy histogram must be recorded");
+    assert_eq!(busy.count, stats.workers as u64, "one busy-pct sample per worker");
+    assert!(busy.max <= 100, "busy fraction is a percentage");
+    assert!(
+        json.contains("\"parallel.busy_pct.schema_probe\":"),
+        "snapshot must serialize the per-site busy histogram"
+    );
+}
+
+#[test]
 fn metrics_file_from_env_matches_schema() {
     let Ok(path) = std::env::var("METRICS_JSON") else {
         return; // not running under scripts/check.sh
