@@ -158,6 +158,13 @@ impl EulerFd {
         };
 
         'run: while termination == Termination::Converged {
+            // Chaos hook at the cycle boundary: a forced budget trip cancels
+            // the token, and the very next poll (first sampling step below)
+            // winds the run down through the normal anytime drain — the
+            // partial-result machinery, not a special case.
+            if fd_faults::inject!("euler.cycle") == Some(fd_faults::Injected::BudgetTrip) {
+                budget.token().cancel_with(Termination::DeadlineExceeded);
+            }
             // ── Cycle 1: sample while the negative cover keeps growing.
             // GR_Ncover is the fraction of *additions* relative to the cover
             // size before the phase ("percentage of additions", V-F). When

@@ -157,6 +157,11 @@ impl Tane {
 
         let mut level = 1usize;
         while !current.is_empty() {
+            // Chaos hook at the level boundary: a forced trip cancels the
+            // token so the poll just below returns the sound partial set.
+            if fd_faults::inject!("tane.level") == Some(fd_faults::Injected::BudgetTrip) {
+                budget.token().cancel_with(Termination::DeadlineExceeded);
+            }
             let _level_span = fd_telemetry::span!("tane.level");
             fd_telemetry::observe!("tane.level.width", current.len() as u64);
             fd_telemetry::event!(

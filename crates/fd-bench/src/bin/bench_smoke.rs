@@ -13,7 +13,10 @@
 //! telemetry section: recording overhead off vs. on, the EulerFD cycle
 //! trace, PLI-cache hit economics, and budget trip latencies for
 //! deadline-tripped EulerFD and Tane runs — while also asserting that every
-//! measured thread count discovered the byte-identical FD set. Invoke via
+//! measured thread count discovered the byte-identical FD set. A `faults`
+//! section reports the cost of the fault-injection sites: compiled out
+//! (zero by construction) or, with `--features faults`, disarmed vs.
+//! armed-with-empty-plan wall time. Invoke via
 //! `scripts/bench_smoke.sh` or directly:
 //!
 //! ```text
@@ -694,6 +697,35 @@ fn main() {
         trips[1].3
     );
 
+    // ---- Faults section (ISSUE 7): quantify the injection sites' cost.
+    // Without the `faults` feature, `inject!` expands to a branch on a
+    // `const fn` returning false, so the optimizer deletes every site and
+    // the disarmed wall time IS the baseline — nothing to measure. With
+    // the feature on, measure both tiers: disarmed (one relaxed atomic
+    // load per site) and armed with an empty plan (mutex + site lookup
+    // per hit, the worst case that never fires anything).
+    let faults_compiled = fd_faults::compiled();
+    let faults_json = if faults_compiled {
+        let (disarmed_s, _, _, _) = run_discovery(&full, opts.threads, opts.repeat);
+        let plan_guard = fd_faults::install_guard(fd_faults::FaultPlan::new(0));
+        let (armed_s, _, _, _) = run_discovery(&full, opts.threads, opts.repeat);
+        drop(plan_guard);
+        let faults_overhead_pct = (armed_s / disarmed_s - 1.0) * 100.0;
+        println!(
+            "faults: compiled=true, wall disarmed {disarmed_s:.3}s vs \
+             armed(empty plan) {armed_s:.3}s ({faults_overhead_pct:+.2}%)"
+        );
+        format!(
+            "  \"faults\": {{\"compiled\": true, \"overhead\": \
+             {{\"wall_s_disarmed\": {disarmed_s:.6}, \
+             \"wall_s_armed_empty_plan\": {armed_s:.6}, \
+             \"overhead_pct\": {faults_overhead_pct:.3}}}}}"
+        )
+    } else {
+        println!("faults: compiled=false (inject! sites compile away; zero cost by construction)");
+        "  \"faults\": {\"compiled\": false}".to_string()
+    };
+
     let telemetry_json = format!(
         "  \"telemetry\": {{\n    \"compiled\": {},\n    \
          \"overhead\": {{\"wall_s_off\": {:.6}, \"wall_s_on\": {:.6}, \
@@ -743,7 +775,7 @@ fn main() {
          \"speedup\": {:.3}\n  }},\n  \
          \"scaling\": {{\n    \"tiers\": [\n{}\n    ],\n    \
          \"skipped_tiers\": [{}],\n    \"identical_fds\": {}\n  }},\n  \
-         \"all_identical_fds\": {},\n{}\n}}\n",
+         \"all_identical_fds\": {},\n{},\n{}\n}}\n",
         opts.dataset,
         opts.threads,
         opts.repeat,
@@ -771,6 +803,7 @@ fn main() {
         scaling_skipped_json,
         scaling_identical,
         all_identical,
+        faults_json,
         telemetry_json
     );
     std::fs::write(&opts.out, &json)

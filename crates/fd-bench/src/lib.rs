@@ -31,5 +31,7 @@ pub mod runner;
 pub mod table;
 
 pub use chart::{render as render_chart, ChartOptions, Series};
-pub use runner::{ground_truth, run_isolated_algorithm, Algo, RunGuard, RunOutcome};
+pub use runner::{
+    ground_truth, is_transient_panic, run_isolated_algorithm, Algo, RunGuard, RunOutcome,
+};
 pub use table::{results_dir, Table};

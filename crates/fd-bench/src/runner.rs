@@ -119,20 +119,47 @@ impl RunOutcome {
 pub struct RunGuard {
     /// Cancel the run this long after it starts; `None` = no deadline.
     pub deadline: Option<Duration>,
-    /// How many times to retry after a panic (0 = record the first one).
+    /// How many times to retry after a *transient* panic (0 = record the
+    /// first one). Only panics classified by [`is_transient_panic`] are
+    /// retried — a deterministic bug would fail identically every attempt,
+    /// so burning retries (and backoff sleeps) on it helps nobody.
     pub panic_retries: u32,
+    /// Base delay slept before retry attempt `k` (1-based), doubling each
+    /// attempt: `retry_backoff << (k-1)`. `ZERO` (the default) retries
+    /// immediately, preserving the historical behavior.
+    pub retry_backoff: Duration,
 }
 
 impl RunGuard {
     /// A guard with a deadline and no retries.
     pub fn with_deadline(deadline: Duration) -> Self {
-        RunGuard { deadline: Some(deadline), panic_retries: 0 }
+        RunGuard { deadline: Some(deadline), ..RunGuard::default() }
     }
 
-    /// Builder: retry up to `n` times after a panic.
+    /// Builder: retry up to `n` times after a transient panic.
     pub fn panic_retries(mut self, n: u32) -> Self {
         self.panic_retries = n;
         self
+    }
+
+    /// Builder: exponential backoff base for retries (see
+    /// [`RunGuard::retry_backoff`]).
+    pub fn retry_backoff(mut self, base: Duration) -> Self {
+        self.retry_backoff = base;
+        self
+    }
+
+    /// Sleeps the backoff owed before retry attempt `attempt` (1-based) and
+    /// counts the retry; no-op for the first attempt or a zero base.
+    fn before_retry(&self, attempt: u32) {
+        if attempt == 0 {
+            return;
+        }
+        fd_telemetry::counter!("runner.panic_retries", 1);
+        let backoff = self.retry_backoff * 2u32.saturating_pow(attempt - 1);
+        if backoff > Duration::ZERO {
+            std::thread::sleep(backoff);
+        }
     }
 
     fn budget(&self) -> Budget {
@@ -188,7 +215,8 @@ impl Algo {
     /// gets a fresh budget (the token is sticky once cancelled).
     pub fn run_isolated(&self, relation: &Relation, guard: RunGuard) -> RunOutcome {
         let mut last_panic = String::new();
-        for _ in 0..=guard.panic_retries {
+        for attempt in 0..=guard.panic_retries {
+            guard.before_retry(attempt);
             let budget = guard.budget();
             let watchdog =
                 guard.deadline.map(|d| Watchdog::arm(budget.token().clone(), d));
@@ -203,6 +231,9 @@ impl Algo {
                         DiscoveryError::Panicked { message } => message,
                         other => other.to_string(),
                     };
+                    if !is_transient_panic(&last_panic) {
+                        break;
+                    }
                 }
             }
         }
@@ -310,7 +341,8 @@ pub fn run_isolated_algorithm(
     guard: RunGuard,
 ) -> RunOutcome {
     let mut last_panic = String::new();
-    for _ in 0..=guard.panic_retries {
+    for attempt in 0..=guard.panic_retries {
+        guard.before_retry(attempt);
         let start = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| algo.discover(relation)));
         match result {
@@ -322,10 +354,23 @@ pub fn run_isolated_algorithm(
                     DiscoveryError::Panicked { message } => message,
                     other => other.to_string(),
                 };
+                if !is_transient_panic(&last_panic) {
+                    break;
+                }
             }
         }
     }
     RunOutcome::Panicked { message: last_panic }
+}
+
+/// Classifies a panic message as *transient* — worth one of a
+/// [`RunGuard`]'s bounded retries. Injected `fd-faults` panics qualify (a
+/// retry advances the site's hit counter past the firing schedule), as does
+/// anything that self-describes as transient (e.g. a flaky I/O wrapper).
+/// Everything else is assumed deterministic: retrying a real bug wastes the
+/// attempts and the backoff sleeps.
+pub fn is_transient_panic(message: &str) -> bool {
+    fd_faults::is_injected_panic(message) || message.contains("transient")
 }
 
 /// Computes the exact FD set to score approximate algorithms against,
@@ -428,6 +473,51 @@ mod tests {
         }
         // The sweep can keep going: a healthy run afterwards still works.
         assert!(Algo::Tane.run(&r).fds().is_some());
+    }
+
+    /// Panics every call with a message that is *not* transient-classified,
+    /// counting attempts.
+    struct CountingBomb(std::sync::atomic::AtomicU32);
+    impl FdAlgorithm for CountingBomb {
+        fn name(&self) -> &str {
+            "CountingBomb"
+        }
+        fn discover(&self, _relation: &Relation) -> FdSet {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            panic!("deterministic bug: index out of range")
+        }
+    }
+
+    #[test]
+    fn deterministic_panics_are_not_retried() {
+        let r = patient();
+        let bomb = CountingBomb(std::sync::atomic::AtomicU32::new(0));
+        let out = run_isolated_algorithm(&bomb, &r, RunGuard::default().panic_retries(3));
+        assert!(matches!(out, RunOutcome::Panicked { .. }));
+        assert_eq!(
+            bomb.0.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "a non-transient panic must consume exactly one attempt"
+        );
+        assert!(!is_transient_panic("deterministic bug: index out of range"));
+        assert!(is_transient_panic("transient fault"));
+        assert!(is_transient_panic(&format!("{}some.site", fd_faults::PANIC_PREFIX)));
+    }
+
+    #[test]
+    fn retry_backoff_sleeps_between_attempts() {
+        let r = patient();
+        let flaky = FlakyOnce(std::sync::atomic::AtomicU32::new(0));
+        let guard = RunGuard::default()
+            .panic_retries(1)
+            .retry_backoff(Duration::from_millis(10));
+        let start = Instant::now();
+        let out = run_isolated_algorithm(&flaky, &r, guard);
+        assert!(out.fds().is_some(), "retry should recover: {out:?}");
+        assert!(
+            start.elapsed() >= Duration::from_millis(9),
+            "backoff must be slept before the retry"
+        );
     }
 
     #[test]

@@ -275,8 +275,17 @@ impl Budget {
 /// not pay for `Instant::now()` in its hot loop — and, armed by the bench
 /// runner, bounds algorithms whose budget polls are sparse.
 ///
-/// Dropping the watchdog disarms it (the helper thread is joined, and the
-/// token is left untouched if the deadline has not yet passed).
+/// # Drop semantics
+///
+/// Dropping an armed watchdog — with or without calling
+/// [`Watchdog::disarm`] first — disarms it: the helper thread is woken,
+/// joined, and the token is left untouched if the deadline has not yet
+/// passed. A guard going out of scope early (a panic unwinding through the
+/// bench runner, an early return) therefore never fires a spurious
+/// cancellation into a token that outlives it. The only asymmetry with an
+/// explicit `disarm()` is lost-race timing: if the deadline elapses in the
+/// instant before the drop takes the state lock, the cancellation stands —
+/// exactly as it would for `disarm()`.
 #[derive(Debug)]
 pub struct Watchdog {
     state: Arc<(Mutex<bool>, Condvar)>,
@@ -416,6 +425,65 @@ mod tests {
         let w = Watchdog::arm(token.clone(), Duration::from_secs(60));
         w.disarm();
         assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn dropping_an_armed_watchdog_does_not_fire_spuriously() {
+        // Drop without disarm(): the Drop impl must behave exactly like
+        // disarm() — join the helper and leave the token untouched when the
+        // deadline has not passed (see the struct's "Drop semantics" doc).
+        let token = CancelToken::new();
+        {
+            let _w = Watchdog::arm(token.clone(), Duration::from_secs(60));
+            // _w dropped here, 60s before its deadline.
+        }
+        assert!(!token.is_cancelled(), "drop of an armed watchdog cancelled the token");
+        assert_eq!(token.reason(), None);
+        // And the token still works normally afterwards.
+        token.cancel_with(Termination::Cancelled);
+        assert_eq!(token.reason(), Some(Termination::Cancelled));
+    }
+
+    #[test]
+    fn concurrent_cancellations_pick_exactly_one_reason() {
+        // First-writer-wins under a real race: many threads cancel with
+        // different reasons; whichever lands first is the reason every
+        // observer sees, forever. A later cancel_with must never overwrite
+        // a reason already observed through reason().
+        let reasons = [
+            Termination::DeadlineExceeded,
+            Termination::PairBudget,
+            Termination::MemoryBudget,
+            Termination::Cancelled,
+        ];
+        for _ in 0..32 {
+            let token = CancelToken::new();
+            let first_seen = std::thread::scope(|s| {
+                let handles: Vec<_> = reasons
+                    .iter()
+                    .map(|&r| {
+                        let token = token.clone();
+                        s.spawn(move || {
+                            token.cancel_with(r);
+                            token.reason().expect("cancelled token must carry a reason")
+                        })
+                    })
+                    .collect();
+                let seen: Vec<Termination> =
+                    handles.into_iter().map(|h| h.join().expect("no panics")).collect();
+                seen
+            });
+            // Every thread observed the same winning reason, including the
+            // threads whose own cancel_with lost the race.
+            let winner = first_seen[0];
+            assert!(reasons.contains(&winner));
+            assert!(first_seen.iter().all(|&r| r == winner), "observers disagree: {first_seen:?}");
+            // And it is sticky against late overwrites.
+            for &r in &reasons {
+                token.cancel_with(r);
+            }
+            assert_eq!(token.reason(), Some(winner));
+        }
     }
 
     #[test]

@@ -181,6 +181,9 @@ where
     }
     if workers <= 1 || n_chunks == 1 {
         for i in 0..n_chunks {
+            // Cooperative faults have no meaning for a pure compute chunk;
+            // panics and delays are performed inside the macro.
+            let _ = fd_faults::inject!("parallel.worker");
             run_chunk(i);
         }
         return StealStats { chunks_claimed: n_chunks as u64, steals: 0, workers: 1 };
@@ -209,6 +212,10 @@ where
                         if i / static_share != w {
                             steals += 1;
                         }
+                        // A delay here stalls one worker and lets the claim
+                        // cursor rebalance the remaining chunks; a panic is
+                        // re-raised on the caller's thread by the join below.
+                        let _ = fd_faults::inject!("parallel.worker");
                         if telemetry {
                             let t0 = Instant::now();
                             run_chunk(i);

@@ -227,6 +227,15 @@ pub fn read_csv_with_report<R: Read>(
         };
         row_no += 1;
         report.rows_read += 1;
+        // Chaos hook: an injected allocation failure surfaces as a clean
+        // `CsvError::Io(OutOfMemory)` — ingestion fails loudly and early
+        // rather than panicking or truncating the relation silently.
+        if fd_faults::inject!("csv.ingest") == Some(fd_faults::Injected::AllocFail) {
+            return Err(CsvError::Io(std::io::Error::new(
+                std::io::ErrorKind::OutOfMemory,
+                "fd-faults: injected allocation failure",
+            )));
+        }
         if row.len() != width {
             let found = row.len();
             match options.on_ragged {

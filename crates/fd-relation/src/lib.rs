@@ -42,7 +42,7 @@ pub use csv::{
 };
 pub use discovery::{verify_fds, FdAlgorithm};
 pub use partition::{sampling_clusters, sampling_clusters_parallel, Partition, ProductScratch};
-pub use pli_cache::{sampling_clusters_cached, PliCache, PliCacheStats};
+pub use pli_cache::{sampling_clusters_cached, MemoryPressure, PliCache, PliCacheStats};
 pub use profile::{profile, ColumnProfile, RelationProfile};
 pub use relation::{
     agree_of_rows, packed_agree_of_rows, BatchStats, NullLabeling, Relation, RelationBuilder,

@@ -244,6 +244,14 @@ impl Partition {
         budget: Option<&Budget>,
     ) -> Result<Partition, Termination> {
         debug_assert_eq!(self.n_rows, other.n_rows);
+        // Chaos hook: a forced budget trip cancels the token up front, so
+        // the normal poll below observes it — exercising the exact trip
+        // path (scratch restore included) without waiting out a deadline.
+        if fd_faults::inject!("partition.product") == Some(fd_faults::Injected::BudgetTrip) {
+            if let Some(b) = budget {
+                b.token().cancel_with(Termination::DeadlineExceeded);
+            }
+        }
         let ProductScratch { owner, bucket_of, touched, buckets } = scratch;
         if owner.len() < self.n_rows {
             owner.resize(self.n_rows, u32::MAX);

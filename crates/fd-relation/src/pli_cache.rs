@@ -46,6 +46,25 @@ pub const DEFAULT_PLI_BUDGET_ROWS: usize = 16 << 20;
 /// entry counts — and the LRU victim scan is linear in the entry count.
 pub const MAX_UNPINNED_ENTRIES: usize = 4096;
 
+/// Floor that memory-pressure shrinks never push the row budget below —
+/// except when the budget was already smaller (tests run 4-row caches;
+/// pressure must only ever *shrink* a budget, never grow one).
+pub const MIN_PRESSURE_BUDGET_ROWS: usize = 4096;
+
+/// Severity of an external memory-pressure signal delivered to
+/// [`PliCache::on_memory_pressure`] — e.g. from an allocation failure
+/// (real or injected by `fd-faults`) or a future server-side RSS monitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryPressure {
+    /// Halve the row budget (not below [`MIN_PRESSURE_BUDGET_ROWS`]) and
+    /// evict down to it. Repeated moderate signals converge on the floor.
+    Moderate,
+    /// Clamp the budget to [`MIN_PRESSURE_BUDGET_ROWS`] and drop every
+    /// unpinned entry immediately. Pinned singles survive — they are the
+    /// derivation base and together cost at most one relation of rows.
+    Critical,
+}
+
 /// Hit/miss/eviction counters (observability; reported by the bench harness).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PliCacheStats {
@@ -56,12 +75,16 @@ pub struct PliCacheStats {
     /// Partition products computed on behalf of misses.
     pub products: usize,
     /// Total entries evicted (always `evictions_row_budget +
-    /// evictions_entry_cap`).
+    /// evictions_entry_cap + evictions_pressure`).
     pub evictions: usize,
     /// Evictions forced by the resident-row budget.
     pub evictions_row_budget: usize,
     /// Evictions forced by [`MAX_UNPINNED_ENTRIES`].
     pub evictions_entry_cap: usize,
+    /// Evictions forced by a [`MemoryPressure`] signal.
+    pub evictions_pressure: usize,
+    /// Times [`PliCache::on_memory_pressure`] shrank the budget.
+    pub pressure_shrinks: usize,
     /// High-water mark of unpinned resident rows.
     pub resident_rows_hwm: usize,
 }
@@ -176,9 +199,43 @@ impl PliCache {
         self.get(relation, &AttrSet::single(a))
     }
 
+    /// Current unpinned row budget (shrinks under [`MemoryPressure`]).
+    pub fn row_budget(&self) -> usize {
+        self.budget_rows
+    }
+
+    /// Reacts to an external memory-pressure signal by shrinking the row
+    /// budget and evicting down to it (see [`MemoryPressure`] for the two
+    /// severities). The budget only ever shrinks — repeated signals are
+    /// safe — and pinned singles always survive, so derivation stays
+    /// possible and results stay byte-identical (the cache is transparent).
+    pub fn on_memory_pressure(&mut self, level: MemoryPressure) {
+        self.stats.pressure_shrinks += 1;
+        fd_telemetry::counter!("cache.pressure_shrink", 1);
+        match level {
+            MemoryPressure::Moderate => {
+                self.budget_rows =
+                    self.budget_rows.min((self.budget_rows / 2).max(MIN_PRESSURE_BUDGET_ROWS));
+                self.evict_down_to_budget(true);
+            }
+            MemoryPressure::Critical => {
+                self.budget_rows = self.budget_rows.min(MIN_PRESSURE_BUDGET_ROWS);
+                while let Some((_, key)) = self.lru.pop_first() {
+                    self.drop_unpinned(key, EvictReason::Pressure);
+                }
+            }
+        }
+    }
+
     /// Donates an externally computed partition (e.g. a Tane level node) to
     /// the cache, making it available as a derivation ancestor.
     pub fn insert(&mut self, attrs: AttrSet, partition: Arc<Partition>) {
+        if fd_faults::inject!("pli_cache.insert") == Some(fd_faults::Injected::AllocFail) {
+            // Simulated allocation failure: a donation is pure optimization,
+            // so refuse it and shed load — discovery proceeds uncached.
+            self.on_memory_pressure(MemoryPressure::Moderate);
+            return;
+        }
         self.store(attrs, partition, false);
         self.evict_over_budget();
     }
@@ -197,6 +254,16 @@ impl PliCache {
         }
         self.stats.misses += 1;
         fd_telemetry::counter!("pli_cache.misses", 1);
+        // Simulated allocation failure on the derive path: degrade to an
+        // uncached derivation (intermediates are computed but not stored)
+        // and shed resident load. Canonical partitions make the degraded
+        // result byte-identical to the cached one — only future hit rates
+        // suffer. Discovery must never abort on cache memory pressure.
+        let degraded =
+            fd_faults::inject!("pli_cache.derive") == Some(fd_faults::Injected::AllocFail);
+        if degraded {
+            self.on_memory_pressure(MemoryPressure::Moderate);
+        }
         if attrs.len() == 1 {
             let a = attrs.iter().next().unwrap_or_default();
             let p = Arc::new(Partition::of_column(relation, a).stripped());
@@ -257,7 +324,9 @@ impl PliCache {
             };
             acc_key.insert(a);
             acc = Arc::new(next);
-            self.store(acc_key, Arc::clone(&acc), false);
+            if !degraded {
+                self.store(acc_key, Arc::clone(&acc), false);
+            }
         }
         self.evict_over_budget();
         Ok(acc)
@@ -307,23 +376,58 @@ impl PliCache {
     /// at the moment the victim is popped (row budget takes precedence when
     /// both are — the row bound is the one that models memory).
     fn evict_over_budget(&mut self) {
+        self.evict_down_to_budget(false);
+    }
+
+    /// The eviction loop behind [`PliCache::evict_over_budget`]; when
+    /// `pressure` is set the evictions are tagged [`EvictReason::Pressure`]
+    /// instead of the bound that happens to be violated (the *cause* was
+    /// the external signal that just shrank the budget).
+    fn evict_down_to_budget(&mut self, pressure: bool) {
         while self.resident_rows > self.budget_rows || self.unpinned > MAX_UNPINNED_ENTRIES {
-            let over_rows = self.resident_rows > self.budget_rows;
+            let reason = if pressure {
+                EvictReason::Pressure
+            } else if self.resident_rows > self.budget_rows {
+                EvictReason::RowBudget
+            } else {
+                EvictReason::EntryCap
+            };
             let Some((_, key)) = self.lru.pop_first() else { return };
-            if let Some(old) = self.entries.remove(&key) {
-                self.resident_rows -= old.partition.covered_rows();
-                self.unpinned -= 1;
-                self.stats.evictions += 1;
-                if over_rows {
+            self.drop_unpinned(key, reason);
+        }
+    }
+
+    /// Removes one unpinned entry (already popped from the LRU index) and
+    /// records the reason-tagged eviction counters.
+    fn drop_unpinned(&mut self, key: AttrSet, reason: EvictReason) {
+        if let Some(old) = self.entries.remove(&key) {
+            self.resident_rows -= old.partition.covered_rows();
+            self.unpinned -= 1;
+            self.stats.evictions += 1;
+            match reason {
+                EvictReason::RowBudget => {
                     self.stats.evictions_row_budget += 1;
                     fd_telemetry::counter!("pli_cache.evictions.row_budget", 1);
-                } else {
+                }
+                EvictReason::EntryCap => {
                     self.stats.evictions_entry_cap += 1;
                     fd_telemetry::counter!("pli_cache.evictions.entry_cap", 1);
+                }
+                EvictReason::Pressure => {
+                    self.stats.evictions_pressure += 1;
+                    fd_telemetry::counter!("pli_cache.evictions.pressure", 1);
                 }
             }
         }
     }
+}
+
+/// Why an entry was evicted (partitions the `evictions` counter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EvictReason {
+    RowBudget,
+    EntryCap,
+    Pressure,
 }
 
 /// [`crate::partition::sampling_clusters`] through the cache: the
@@ -396,14 +500,69 @@ mod tests {
         // (with far fewer than MAX_UNPINNED_ENTRIES entries) means all of
         // them are row-budget evictions.
         let stats = cache.stats();
-        assert_eq!(stats.evictions, stats.evictions_row_budget + stats.evictions_entry_cap);
+        assert_eq!(
+            stats.evictions,
+            stats.evictions_row_budget + stats.evictions_entry_cap + stats.evictions_pressure
+        );
         assert_eq!(stats.evictions_entry_cap, 0);
+        assert_eq!(stats.evictions_pressure, 0);
         assert!(stats.resident_rows_hwm > 0);
         // Singles stay pinned through every eviction.
         for a in [1u16, 2, 3] {
             assert!(cache.entries.contains_key(&AttrSet::single(a)));
             assert!(cache.contains(&AttrSet::single(a)));
         }
+    }
+
+    #[test]
+    fn moderate_pressure_halves_budget_and_never_grows_it() {
+        let r = patient();
+        let mut cache = PliCache::new(1 << 20);
+        let _ = cache.get(&r, &AttrSet::from_attrs([1u16, 2]));
+        let _ = cache.get(&r, &AttrSet::from_attrs([2u16, 3]));
+        cache.on_memory_pressure(MemoryPressure::Moderate);
+        assert_eq!(cache.row_budget(), 1 << 19);
+        // Shrinks converge on the floor and stop.
+        for _ in 0..16 {
+            cache.on_memory_pressure(MemoryPressure::Moderate);
+        }
+        assert_eq!(cache.row_budget(), MIN_PRESSURE_BUDGET_ROWS);
+        let stats = cache.stats();
+        assert_eq!(stats.pressure_shrinks, 17);
+        assert_eq!(
+            stats.evictions,
+            stats.evictions_row_budget + stats.evictions_entry_cap + stats.evictions_pressure
+        );
+        // A tiny budget must only ever shrink further, never jump to the floor.
+        let mut tiny = PliCache::new(4);
+        tiny.on_memory_pressure(MemoryPressure::Moderate);
+        assert_eq!(tiny.row_budget(), 4);
+        tiny.on_memory_pressure(MemoryPressure::Critical);
+        assert_eq!(tiny.row_budget(), 4);
+    }
+
+    #[test]
+    fn critical_pressure_drops_all_unpinned_but_spares_singles() {
+        let r = patient();
+        let mut cache = PliCache::with_default_budget();
+        let _ = cache.get(&r, &AttrSet::from_attrs([1u16, 2]));
+        let _ = cache.get(&r, &AttrSet::from_attrs([1u16, 2, 3]));
+        assert!(cache.contains(&AttrSet::from_attrs([1u16, 2])));
+        cache.on_memory_pressure(MemoryPressure::Critical);
+        assert!(!cache.contains(&AttrSet::from_attrs([1u16, 2])));
+        assert!(!cache.contains(&AttrSet::from_attrs([1u16, 2, 3])));
+        for a in [1u16, 2, 3] {
+            assert!(cache.contains(&AttrSet::single(a)), "pinned single {a} must survive");
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions_pressure >= 2);
+        assert_eq!(
+            stats.evictions,
+            stats.evictions_row_budget + stats.evictions_entry_cap + stats.evictions_pressure
+        );
+        // The cache still answers correctly afterwards (re-derives from singles).
+        let attrs = AttrSet::from_attrs([1u16, 2, 3]);
+        assert_eq!(*cache.get(&r, &attrs), fresh(&r, &attrs));
     }
 
     #[test]

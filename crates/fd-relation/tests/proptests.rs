@@ -4,8 +4,8 @@
 use fd_core::{AttrId, AttrSet, FastHashSet};
 use fd_relation::{
     agree_of_rows, packed_agree_of_rows, read_csv, read_csv_with_report, sampling_clusters,
-    sampling_clusters_cached, sampling_clusters_parallel, synth, write_csv, CsvOptions, Partition,
-    PliCache, RaggedPolicy, Relation, RowAction, RowId,
+    sampling_clusters_cached, sampling_clusters_parallel, synth, write_csv, CsvOptions,
+    MemoryPressure, Partition, PliCache, RaggedPolicy, Relation, RowAction, RowId,
 };
 use proptest::prelude::*;
 
@@ -189,7 +189,9 @@ proptest! {
 
     /// Cache-served partitions are bit-identical to fresh computations
     /// under arbitrary access sequences with a budget small enough to force
-    /// evictions on nearly every insert.
+    /// evictions on nearly every insert — and with memory-pressure signals
+    /// shrinking the row budget mid-sequence (0 = none, 1 = moderate,
+    /// 2 = critical per access).
     #[test]
     fn pli_cache_is_transparent_under_random_access_and_eviction(
         r in relation_strategy(),
@@ -197,11 +199,12 @@ proptest! {
             proptest::collection::vec(0u16..5, 1..4),
             1..12,
         ),
+        pressure in proptest::collection::vec(0u8..3, 1..12),
         budget_rows in 0usize..64,
     ) {
         let mut cache = PliCache::new(budget_rows);
         let mut touched = AttrSet::empty();
-        for attrs in accesses {
+        for (i, attrs) in accesses.into_iter().enumerate() {
             let lhs: AttrSet = AttrSet::from_attrs(
                 attrs.into_iter().filter(|&a| (a as usize) < r.n_attrs()),
             );
@@ -218,18 +221,30 @@ proptest! {
             }
             let served = cache.get(&r, &lhs);
             prop_assert_eq!(&*served, &fresh, "attrs {:?}", lhs);
+            // A pressure signal between accesses must never change answers,
+            // and the budget must only ever shrink.
+            let budget_before = cache.row_budget();
+            match pressure.get(i % pressure.len()) {
+                Some(1) => cache.on_memory_pressure(MemoryPressure::Moderate),
+                Some(2) => cache.on_memory_pressure(MemoryPressure::Critical),
+                _ => {}
+            }
+            prop_assert!(
+                cache.row_budget() <= budget_before,
+                "pressure grew the budget: {} -> {}", budget_before, cache.row_budget()
+            );
         }
         // Eviction accounting: every eviction carries exactly one reason tag.
         let stats = cache.stats();
         prop_assert_eq!(
             stats.evictions,
-            stats.evictions_row_budget + stats.evictions_entry_cap,
+            stats.evictions_row_budget + stats.evictions_entry_cap + stats.evictions_pressure,
             "reason tags must partition the eviction count"
         );
-        // Pinned single-attribute partitions are exempt from both eviction
-        // policies: every single materialized as a derivation base must still
-        // be resident, however tiny the row budget — so no reported eviction
-        // can have been a pinned single.
+        // Pinned single-attribute partitions are exempt from all three
+        // eviction policies: every single materialized as a derivation base
+        // must still be resident, however tiny the (possibly pressure-shrunk)
+        // row budget — so no reported eviction can have been a pinned single.
         for a in touched.iter() {
             prop_assert!(
                 cache.contains(&AttrSet::single(a)),

@@ -4,8 +4,20 @@
 # This is a superset of the CI tier-1 gate (`cargo build --release &&
 # cargo test -q`); run it before pushing. `needless_range_loop` is allowed
 # workspace-wide: the kernels index multiple parallel slices by design.
+#
+# Pass `--chaos` to also run the seeded fault-injection suite
+# (tests/chaos.rs) with the `faults` feature armed. The seed set is fixed
+# in the test itself, so a `--chaos` run is fully reproducible.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_CHAOS=0
+for arg in "$@"; do
+    case "$arg" in
+        --chaos) RUN_CHAOS=1 ;;
+        *) echo "unknown option: $arg (supported: --chaos)" >&2; exit 2 ;;
+    esac
+done
 
 cargo build --release
 cargo test -q
@@ -37,3 +49,10 @@ METRICS_TMP="$(mktemp /tmp/fdtool-metrics.XXXXXX.json)"
 trap 'rm -f "$METRICS_TMP"' EXIT
 ./target/release/fdtool discover data/patient.csv --metrics-out "$METRICS_TMP" > /dev/null
 METRICS_JSON="$METRICS_TMP" cargo test -q --features telemetry --test metrics_schema
+
+# Chaos gate (opt-in): 200 seeded fault schedules across EulerFD + Tane,
+# plus the targeted degradation tests. `faults,telemetry` together so every
+# fired fault is also checked against its `faults.fired.<site>` counter.
+if [ "$RUN_CHAOS" -eq 1 ]; then
+    cargo test -q --features faults,telemetry --test chaos
+fi

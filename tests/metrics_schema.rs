@@ -59,11 +59,19 @@ fn snapshot_reports_compile_state_honestly() {
     assert!(json.contains(&expected), "snapshot must record the feature state: {expected}");
 }
 
+/// Serializes the tests that flip the global `fd_telemetry` enable flag so
+/// one probe can't disable recording while another is mid-measurement.
+fn enable_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn work_stealing_counters_and_busy_histogram_join_the_snapshot() {
     if !fd_telemetry::compiled() {
         return; // plain build: recording is compiled out, nothing to assert
     }
+    let _flag = enable_lock();
     use std::sync::atomic::{AtomicUsize, Ordering};
     fd_telemetry::set_enabled(true);
     let hits = AtomicUsize::new(0);
@@ -99,6 +107,52 @@ fn work_stealing_counters_and_busy_histogram_join_the_snapshot() {
     assert!(
         json.contains("\"parallel.busy_pct.schema_probe\":"),
         "snapshot must serialize the per-site busy histogram"
+    );
+}
+
+#[test]
+fn fault_and_pressure_counters_join_the_snapshot() {
+    if !fd_telemetry::compiled() || !fd_faults::compiled() {
+        return; // needs --features faults,telemetry (the check.sh --chaos build)
+    }
+    use eulerfd_suite::core::AttrSet;
+    use eulerfd_suite::relation::{synth::patient, PliCache};
+    let _flag = enable_lock();
+    fd_telemetry::set_enabled(true);
+    let _plan = fd_faults::install_guard(fd_faults::FaultPlan::new(11).with(
+        "pli_cache.derive",
+        fd_faults::FaultAction::AllocFail,
+        fd_faults::Schedule::Always,
+    ));
+    let relation = patient();
+    let mut cache = PliCache::with_default_budget();
+    let _ = cache.get(&relation, &AttrSet::from_attrs([1u16, 2]));
+    let fired = fd_faults::fired_counts();
+    let snap = fd_telemetry::snapshot();
+    fd_telemetry::set_enabled(false);
+    let json = snap.to_json();
+    // Schema pin: every fired fault serializes under `faults.fired.<site>`,
+    // and cache degradation under `cache.pressure_shrink` — these names are
+    // wire format now, referenced by dashboards and the chaos suite alike.
+    assert!(!fired.is_empty(), "the derive alloc-fail plan never fired");
+    for (site, count) in fired {
+        assert_eq!(
+            snap.counter(&format!("faults.fired.{site}")),
+            Some(count),
+            "telemetry disagrees with fd-faults on {site}"
+        );
+        assert!(
+            json.contains(&format!("\"faults.fired.{site}\":")),
+            "snapshot must serialize faults.fired.{site}"
+        );
+    }
+    assert!(
+        snap.counter("cache.pressure_shrink").unwrap_or(0) > 0,
+        "alloc-fail degradation must tick cache.pressure_shrink"
+    );
+    assert!(
+        json.contains("\"cache.pressure_shrink\":"),
+        "snapshot must serialize cache.pressure_shrink"
     );
 }
 
