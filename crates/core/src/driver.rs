@@ -97,6 +97,14 @@ impl EulerFd {
         self.discover_budgeted(relation, &Budget::unlimited())
     }
 
+    /// Builds a [`crate::DeltaEngine`] for `relation`: an exact cold
+    /// discovery pass whose result can then be patched in place after row
+    /// inserts/deletes at a fraction of the cold cost. The engine uses this
+    /// configuration's resolved thread count for its inversion phases.
+    pub fn discover_incremental(&self, relation: &Relation) -> crate::DeltaEngine {
+        crate::DeltaEngine::new(relation.clone(), self.config.resolved_threads())
+    }
+
     /// Runs discovery under a [`Budget`]: anytime execution with cooperative
     /// cancellation. With [`Budget::unlimited`] this is bit-for-bit
     /// identical to [`EulerFd::discover_with_report`]. When the budget trips
@@ -125,9 +133,12 @@ impl EulerFd {
 
         // ∅-level evidence is free: every non-constant column is violated by
         // some pair (pairs with empty agree sets are outside all clusters,
-        // so sampling alone would never produce these non-FDs).
+        // so sampling alone would never produce these non-FDs). Constancy is
+        // a value scan, not `n_distinct > 1`: after `apply_delta` the
+        // distinct count is only a label bound and may overshoot on columns
+        // whose last disagreeing rows were deleted.
         for a in 0..m as AttrId {
-            if relation.n_distinct(a) > 1 && ncover.add(Fd::new(AttrSet::empty(), a)) {
+            if !relation.is_constant(a) && ncover.add(Fd::new(AttrSet::empty(), a)) {
                 pending.push(Fd::new(AttrSet::empty(), a));
             }
         }

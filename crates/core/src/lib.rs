@@ -48,10 +48,12 @@
 
 pub mod config;
 pub mod driver;
+pub mod incremental;
 pub mod mlfq;
 pub mod sampler;
 
 pub use config::{mlfq_ranges, EulerFdConfig};
 pub use driver::{EulerFd, EulerFdReport};
+pub use incremental::{DeltaEngine, DeltaReport, DeltaStats};
 pub use mlfq::{ClusterId, Mlfq};
 pub use sampler::{Sampler, SamplerStats};

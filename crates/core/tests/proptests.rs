@@ -143,3 +143,59 @@ proptest! {
         }
     }
 }
+
+/// A base relation plus two successive insert/delete waves. Insert labels
+/// range over 0..6 so both reused and fresh labels occur; delete ids are
+/// drawn as raw integers and reduced modulo the live row count when each
+/// wave is applied (the relation size after wave one is data-dependent).
+fn delta_scenario_strategy(
+) -> impl Strategy<Value = (Relation, [(Vec<Vec<u32>>, Vec<u32>); 2])> {
+    relation_strategy().prop_flat_map(|relation| {
+        let cols = relation.n_attrs();
+        let wave = move || {
+            (
+                proptest::collection::vec(
+                    proptest::collection::vec(0u32..6, cols..=cols),
+                    0..=5,
+                ),
+                proptest::collection::vec(0u32..1000, 0..=8),
+            )
+        };
+        (Just(relation), wave(), wave()).prop_map(|(r, w1, w2)| (r, [w1, w2]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The delta engine's incremental answer after each wave is byte-
+    /// identical to a cold re-discovery of the mutated relation — both the
+    /// cold [`DeltaEngine`] and the exhaustive double-cycle driver — and
+    /// does not depend on the inversion thread count.
+    #[test]
+    fn delta_engine_matches_cold_rediscovery(scenario in delta_scenario_strategy()) {
+        use eulerfd::DeltaEngine;
+        let (relation, waves) = scenario;
+        let mut engines: Vec<DeltaEngine> =
+            [1usize, 2, 4].iter().map(|&t| DeltaEngine::new(relation.clone(), t)).collect();
+        let exhaustive = EulerFd::with_config(EulerFdConfig::with_thresholds(0.0, 0.0));
+        for (inserts, raw_deletes) in &waves {
+            let n = engines[0].relation().n_rows() as u32;
+            let deletes: Vec<u32> = if n == 0 {
+                Vec::new()
+            } else {
+                raw_deletes.iter().map(|&d| d % n).collect()
+            };
+            for engine in &mut engines {
+                engine.apply_delta(inserts, &deletes);
+            }
+            let cold = DeltaEngine::new(engines[0].relation().clone(), 1);
+            prop_assert_eq!(engines[0].fds(), cold.fds());
+            prop_assert_eq!(engines[0].fds(), exhaustive.discover(engines[0].relation()));
+            for engine in &engines[1..] {
+                prop_assert_eq!(engine.relation(), engines[0].relation());
+                prop_assert_eq!(engine.fds(), engines[0].fds());
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Smoke benchmark of the discovery pipeline (not CI-blocking).
 //!
 //! Runs a downsized rows-scaling sweep on a synthetic dataset twice — once
-//! with 1 kernel thread and once with N — and writes `BENCH_PR6.json`
+//! with 1 kernel thread and once with N — and writes `BENCH_PR8.json`
 //! recording wall-clock, pairs/sec, the per-point speedup, a per-phase
 //! breakdown (sample / invert / validate / partition-product), a
 //! partition-product microbench pitting the flat CSR engine against the
@@ -16,21 +16,28 @@
 //! measured thread count discovered the byte-identical FD set. A `faults`
 //! section reports the cost of the fault-injection sites: compiled out
 //! (zero by construction) or, with `--features faults`, disarmed vs.
-//! armed-with-empty-plan wall time. Invoke via
+//! armed-with-empty-plan wall time. A `delta` section pits the incremental
+//! [`DeltaEngine`] against a cold re-discovery at 0.1% / 1% / 5% row deltas
+//! (half inserts drawn from a held-out tail of the same generator run, half
+//! evenly spaced deletes), reporting wall-clock for both paths, the
+//! incremental/cold ratio, and FD-set byte identity. Invoke via
 //! `scripts/bench_smoke.sh` or directly:
 //!
 //! ```text
 //! cargo run --release -p fd-bench --features telemetry --bin bench_smoke -- \
 //!     [--dataset lineitem] [--rows 120000] [--threads 4] \
-//!     [--repeat 2] [--out BENCH_PR6.json] [--scaling-gate]
+//!     [--repeat 2] [--out BENCH_PR8.json] [--scaling-gate] [--delta-gate]
 //! ```
 //!
 //! `--scaling-gate` runs only the CI gate: packed-kernel speedup tripwire,
 //! byte-identical discovery across worker counts, and (on multi-core hosts
 //! only) a 2-worker ≥1.2× sampling-throughput floor. Single-core hosts
 //! auto-skip the throughput floor so container CI stays green.
+//! `--delta-gate` runs only the delta-maintenance gate: the 1% point must
+//! re-discover incrementally in ≤ 25% of the cold wall, and every point's
+//! incremental FD set must be byte-identical to the cold one.
 
-use eulerfd::{EulerFd, EulerFdConfig, EulerFdReport};
+use eulerfd::{DeltaEngine, EulerFd, EulerFdConfig, EulerFdReport};
 use fd_baselines::Tane;
 use fd_core::{Budget, FastHashMap, FdSet};
 use fd_relation::{
@@ -47,6 +54,7 @@ struct Opts {
     repeat: usize,
     out: String,
     scaling_gate: bool,
+    delta_gate: bool,
 }
 
 impl Default for Opts {
@@ -56,8 +64,9 @@ impl Default for Opts {
             rows: 120_000,
             threads: 4,
             repeat: 2,
-            out: "BENCH_PR6.json".into(),
+            out: "BENCH_PR8.json".into(),
             scaling_gate: false,
+            delta_gate: false,
         }
     }
 }
@@ -76,6 +85,7 @@ fn parse_opts() -> Opts {
             "--repeat" => opts.repeat = parse_num(&value("--repeat"), "--repeat").max(1),
             "--out" => opts.out = value("--out"),
             "--scaling-gate" => opts.scaling_gate = true,
+            "--delta-gate" => opts.delta_gate = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument: {other}")),
         }
@@ -96,7 +106,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: bench_smoke [--dataset <name>] [--rows <n>] [--threads <n>] \
-         [--repeat <n>] [--out <path>] [--scaling-gate]"
+         [--repeat <n>] [--out <path>] [--scaling-gate] [--delta-gate]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -504,6 +514,184 @@ fn run_scaling_gate(opts: &Opts) {
     );
 }
 
+/// Row-delta fractions measured by the delta section: 0.1%, 1%, 5%.
+const DELTA_FRACS: [f64; 3] = [0.001, 0.01, 0.05];
+
+/// Base-relation size cap for the delta section. The [`DeltaEngine`]'s cold
+/// build enumerates every intra-cluster pair, and lineitem's low-cardinality
+/// columns (l_linestatus has 2 labels) make that Θ(rows²) — so the section
+/// runs on a capped prefix rather than the full `--rows` workload.
+const DELTA_BASE_ROWS_CAP: usize = 10_000;
+
+/// Ceiling the 1%-delta incremental/cold wall ratio must stay under in the
+/// `--delta-gate` CI gate. Measured ratios sit around 3–6%; 25% is the
+/// acceptance bound, far enough out that scheduler jitter cannot flake it
+/// while a regression to cold-equivalent cost still trips it.
+const GATE_MAX_DELTA_RATIO: f64 = 0.25;
+
+/// One measured point of the delta section.
+struct DeltaPoint {
+    frac: f64,
+    rows_inserted: usize,
+    rows_deleted: usize,
+    incremental_s: f64,
+    cold_s: f64,
+    candidates_revived: usize,
+    identical_fds: bool,
+}
+
+impl DeltaPoint {
+    fn ratio(&self) -> f64 {
+        self.incremental_s / self.cold_s
+    }
+}
+
+/// Measures incremental vs. cold re-discovery at each delta fraction.
+///
+/// One generator run produces `base + tail` rows; the base is a raw column
+/// slice (labels kept verbatim, so the held-out tail rows share its label
+/// space — `head()` would re-encode and break that), and each fraction's
+/// delta is `k` tail rows inserted plus `k` evenly spaced rows deleted.
+/// Every point starts from a pristine cold engine on the base, applies the
+/// delta (timed), then cold-rebuilds the mutated relation (timed) and
+/// compares the two FD sets byte-for-byte. Returns the base row count, the
+/// best cold-build wall observed, and the per-fraction points.
+fn delta_section(opts: &Opts) -> (usize, f64, Vec<DeltaPoint>) {
+    let spec = synth::dataset_spec(&opts.dataset)
+        .unwrap_or_else(|| usage(&format!("unknown dataset: {}", opts.dataset)));
+    let base_rows = opts.rows.clamp(100, DELTA_BASE_ROWS_CAP);
+    if base_rows < opts.rows {
+        println!(
+            "delta: base capped at {base_rows} rows (cold pair induction is \
+             quadratic; --rows {} would not terminate in bench time)",
+            opts.rows
+        );
+    }
+    let max_k = ((base_rows as f64 * DELTA_FRACS[DELTA_FRACS.len() - 1]).ceil() as usize).max(1);
+    let source = spec.generate(base_rows + max_k);
+    let base = Relation::from_encoded_columns(
+        format!("{}[delta-base rows={base_rows}]", opts.dataset),
+        source.column_names().to_vec(),
+        (0..source.n_attrs())
+            .map(|a| source.column(a as u16)[..base_rows].to_vec())
+            .collect(),
+    );
+
+    let mut cold_build_s = f64::INFINITY;
+    let mut points = Vec::new();
+    for &frac in &DELTA_FRACS {
+        let k = ((base_rows as f64 * frac).round() as usize).max(1);
+        let inserts: Vec<Vec<u32>> = (base_rows..base_rows + k)
+            .map(|r| {
+                (0..source.n_attrs()).map(|a| source.label(r as RowId, a as u16)).collect()
+            })
+            .collect();
+        let deletes: Vec<RowId> =
+            (0..k).map(|i| (i as u64 * base_rows as u64 / k as u64) as RowId).collect();
+
+        let start = Instant::now();
+        let mut engine = DeltaEngine::new(base.clone(), opts.threads);
+        cold_build_s = cold_build_s.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let report = engine.apply_delta(&inserts, &deletes);
+        let incremental_s = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let cold = DeltaEngine::new(engine.relation().clone(), opts.threads);
+        let cold_s = start.elapsed().as_secs_f64();
+
+        points.push(DeltaPoint {
+            frac,
+            rows_inserted: report.rows_inserted,
+            rows_deleted: report.rows_deleted,
+            incremental_s,
+            cold_s,
+            candidates_revived: report.candidates_revived,
+            identical_fds: canonical_fds(&engine.fds()) == canonical_fds(&cold.fds()),
+        });
+    }
+    (base_rows, cold_build_s, points)
+}
+
+/// Prints one delta point in the human-readable table.
+fn print_delta_point(p: &DeltaPoint) {
+    println!(
+        "delta: {:>5.1}% (+{} / -{} rows): incremental {:.4}s vs cold {:.4}s \
+         ({:.1}% of cold, {:.1}x), revived {}, identical_fds={}",
+        p.frac * 100.0,
+        p.rows_inserted,
+        p.rows_deleted,
+        p.incremental_s,
+        p.cold_s,
+        p.ratio() * 100.0,
+        p.cold_s / p.incremental_s,
+        p.candidates_revived,
+        p.identical_fds
+    );
+}
+
+/// CI gate mode (`--delta-gate`): the 1% point must land at ≤
+/// [`GATE_MAX_DELTA_RATIO`] of the cold wall and every point's incremental
+/// FD set must be byte-identical to the cold re-discovery.
+fn run_delta_gate(opts: &Opts) {
+    let (base_rows, cold_build_s, points) = delta_section(opts);
+    println!("gate: delta base {base_rows} rows, cold build {cold_build_s:.3}s");
+    for p in &points {
+        print_delta_point(p);
+    }
+    assert!(
+        points.iter().all(|p| p.identical_fds),
+        "incremental and cold FD sets diverged at some delta fraction"
+    );
+    let one_pct = points
+        .iter()
+        .find(|p| (p.frac - 0.01).abs() < 1e-12)
+        .expect("the 1% point is always measured");
+    assert!(
+        one_pct.ratio() <= GATE_MAX_DELTA_RATIO,
+        "1% delta took {:.1}% of the cold wall (gate: <= {:.0}%)",
+        one_pct.ratio() * 100.0,
+        GATE_MAX_DELTA_RATIO * 100.0
+    );
+    println!(
+        "gate: 1% delta at {:.1}% of cold wall (ceiling {:.0}%)",
+        one_pct.ratio() * 100.0,
+        GATE_MAX_DELTA_RATIO * 100.0
+    );
+}
+
+/// Renders the delta section of the output JSON.
+fn delta_json(base_rows: usize, cold_build_s: f64, points: &[DeltaPoint]) -> String {
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        write!(
+            rows,
+            "      {{\"frac\": {}, \"rows_inserted\": {}, \"rows_deleted\": {}, \
+             \"incremental_s\": {:.6}, \"cold_rediscover_s\": {:.6}, \
+             \"ratio\": {:.4}, \"speedup\": {:.2}, \"candidates_revived\": {}, \
+             \"identical_fds\": {}}}",
+            p.frac,
+            p.rows_inserted,
+            p.rows_deleted,
+            p.incremental_s,
+            p.cold_s,
+            p.ratio(),
+            p.cold_s / p.incremental_s,
+            p.candidates_revived,
+            p.identical_fds
+        )
+        .expect("writing to a String cannot fail");
+    }
+    format!(
+        "  \"delta\": {{\n    \"base_rows\": {base_rows},\n    \
+         \"cold_build_s\": {cold_build_s:.6},\n    \"points\": [\n{rows}\n    ]\n  }}"
+    )
+}
+
 /// Renders an `f64` slice as a compact JSON array.
 fn json_f64_array(values: &[f64]) -> String {
     let mut out = String::from("[");
@@ -522,6 +710,11 @@ fn main() {
     if opts.scaling_gate {
         run_scaling_gate(&opts);
         println!("[scaling gate passed]");
+        return;
+    }
+    if opts.delta_gate {
+        run_delta_gate(&opts);
+        println!("[delta gate passed]");
         return;
     }
     let spec = synth::dataset_spec(&opts.dataset)
@@ -726,6 +919,16 @@ fn main() {
         "  \"faults\": {\"compiled\": false}".to_string()
     };
 
+    // ---- Delta section (ISSUE 8): incremental maintenance vs. cold
+    // re-discovery at growing row-delta fractions.
+    let (delta_base_rows, delta_cold_build_s, delta_points) = delta_section(&opts);
+    println!("delta: base {delta_base_rows} rows, cold build {delta_cold_build_s:.3}s");
+    for p in &delta_points {
+        print_delta_point(p);
+    }
+    let delta_identical = delta_points.iter().all(|p| p.identical_fds);
+    let delta_section_json = delta_json(delta_base_rows, delta_cold_build_s, &delta_points);
+
     let telemetry_json = format!(
         "  \"telemetry\": {{\n    \"compiled\": {},\n    \
          \"overhead\": {{\"wall_s_off\": {:.6}, \"wall_s_on\": {:.6}, \
@@ -775,7 +978,7 @@ fn main() {
          \"speedup\": {:.3}\n  }},\n  \
          \"scaling\": {{\n    \"tiers\": [\n{}\n    ],\n    \
          \"skipped_tiers\": [{}],\n    \"identical_fds\": {}\n  }},\n  \
-         \"all_identical_fds\": {},\n{},\n{}\n}}\n",
+         \"all_identical_fds\": {},\n{},\n{},\n{}\n}}\n",
         opts.dataset,
         opts.threads,
         opts.repeat,
@@ -803,6 +1006,7 @@ fn main() {
         scaling_skipped_json,
         scaling_identical,
         all_identical,
+        delta_section_json,
         faults_json,
         telemetry_json
     );
@@ -812,4 +1016,5 @@ fn main() {
     assert!(all_identical, "thread counts disagreed on the FD set");
     assert!(scaling_identical, "scaling tiers disagreed on the FD set");
     assert!(products_identical, "CSR and nested-vec products disagreed");
+    assert!(delta_identical, "incremental and cold delta FD sets disagreed");
 }

@@ -122,6 +122,21 @@ impl NCover {
     pub fn tree(&self, rhs: AttrId) -> &LhsTree {
         &self.per_rhs[rhs as usize]
     }
+
+    /// Discards the RHS-`rhs` tree and rebuilds it from `lhss`, keeping only
+    /// the maximal sets among them (insertion-order independent: maximality
+    /// absorption commutes). The delete path of incremental maintenance uses
+    /// this — dead evidence cannot be "subtracted" from a maximal-set store,
+    /// but the surviving agree sets reconstruct the tree exactly. Successful
+    /// re-insertions count toward [`NCover::insertions`] like any others.
+    pub fn rebuild_rhs(&mut self, rhs: AttrId, lhss: impl IntoIterator<Item = AttrSet>) {
+        let tree = &mut self.per_rhs[rhs as usize];
+        self.len -= tree.len();
+        *tree = LhsTree::new();
+        for lhs in lhss {
+            self.add(Fd::new(lhs, rhs));
+        }
+    }
 }
 
 /// The positive cover under construction: for each RHS attribute, the LHSs
@@ -303,6 +318,37 @@ impl PCover {
         }
         self.len = self.len + delta.added - delta.removed;
         delta
+    }
+
+    /// Discards the RHS-`rhs` tree and re-derives it from scratch: the most
+    /// general candidate `∅` is re-seeded and every non-FD LHS in `non_fds`
+    /// is inverted, most specialized first (exactly the [`PCover::invert`]
+    /// order). This is the revival step of incremental maintenance after
+    /// deletes: candidates killed by since-dead evidence reappear, bottom-up
+    /// minimal, because the rebuilt tree is the exact complement of the
+    /// surviving non-FDs (Algorithm 3 is deterministic in the inputs).
+    ///
+    /// Returns the number of *revived* candidates — LHSs present in the
+    /// rebuilt tree that were not candidates before the call.
+    pub fn rebuild_rhs(&mut self, rhs: AttrId, mut non_fds: Vec<AttrSet>) -> usize {
+        let n = self.n_attrs();
+        let tree = &mut self.per_rhs[rhs as usize];
+        let old: crate::hash::FastHashSet<AttrSet> = tree.to_vec().into_iter().collect();
+        self.len -= tree.len();
+        *tree = LhsTree::new();
+        tree.insert(AttrSet::empty());
+        non_fds.sort_by_key(|lhs| std::cmp::Reverse(lhs.len()));
+        for lhs in &non_fds {
+            invert_into_tree(tree, n, rhs, lhs);
+        }
+        self.len += tree.len();
+        let mut revived = 0usize;
+        tree.for_each(|lhs| {
+            if !old.contains(&lhs) {
+                revived += 1;
+            }
+        });
+        revived
     }
 
     /// True if `fd` (or a generalization of it) is a current candidate.
@@ -521,6 +567,51 @@ mod tests {
         // Finishing the drain afterwards converges to the exact cover.
         pc.invert_batch(&mut fds, 1);
         assert_eq!(pc.to_fdset(), invert_ncover(&nc).to_fdset());
+    }
+
+    #[test]
+    fn ncover_rebuild_rhs_matches_a_fresh_cover() {
+        let mut nc = NCover::new(4);
+        nc.add_agree_set(s(&[0, 1]));
+        nc.add_agree_set(s(&[1, 2]));
+        nc.add_agree_set(s(&[0]));
+        // Rebuild RHS 3 from the surviving evidence {0,1} and {1,2} only
+        // (evidence {0} "died"): equals a cover built from scratch.
+        nc.rebuild_rhs(3, [s(&[0, 1]), s(&[1, 2])]);
+        let mut oracle = NCover::new(4);
+        oracle.add_agree_set(s(&[0, 1]));
+        oracle.add_agree_set(s(&[1, 2]));
+        assert_eq!(nc.tree(3).to_vec(), oracle.tree(3).to_vec());
+        // Other RHS trees untouched; len bookkeeping consistent.
+        let total: usize = (0..4).map(|a| nc.tree(a).len()).sum();
+        assert_eq!(nc.len(), total);
+        // Absorption still applies during a rebuild.
+        nc.rebuild_rhs(3, [s(&[0]), s(&[0, 1])]);
+        assert_eq!(nc.tree(3).to_vec(), vec![s(&[0, 1])]);
+    }
+
+    #[test]
+    fn pcover_rebuild_rhs_revives_candidates_killed_by_dead_evidence() {
+        // Agree sets {0,1} and {2} over 3 attributes. For RHS 2 the only
+        // non-FD is {0,1} ↛ 2, whose inversion empties the RHS-2 tree: ∅
+        // cannot specialize outside {0,1} without using attribute 2 itself.
+        let mut nc = NCover::new(3);
+        nc.add_agree_set(s(&[0, 1]));
+        nc.add_agree_set(s(&[2]));
+        let mut pc = invert_ncover(&nc);
+        let before = pc.to_fdset();
+        assert!(!pc.covers(&Fd::new(s(&[]), 2)));
+        // The pair behind {0,1} is deleted: no surviving evidence for RHS 2.
+        let revived = pc.rebuild_rhs(2, vec![]);
+        assert_eq!(revived, 1, "∅ → 2 is newly a candidate");
+        assert!(pc.contains(&Fd::new(s(&[]), 2)));
+        assert_eq!(pc.len(), before.len() + 1);
+        // Rebuilding with the original evidence restores the old cover
+        // exactly and revives nothing.
+        let revived = pc.rebuild_rhs(2, vec![s(&[0, 1])]);
+        assert_eq!(revived, 0);
+        assert_eq!(pc.to_fdset(), before);
+        assert_eq!(pc.len(), before.len());
     }
 
     #[test]

@@ -196,6 +196,110 @@ pub fn read_csv_with_report<R: Read>(
     name: &str,
     options: &CsvOptions,
 ) -> Result<(Relation, IngestReport), CsvError> {
+    let (builder, report) = ingest(reader, name, options)?;
+    Ok((builder.finish(), report))
+}
+
+/// [`read_csv_with_report`] that also keeps the per-column dictionaries
+/// alive, so delta rows arriving later (e.g. via `fdtool --delta-csv`) can
+/// be encoded consistently with the base table — known values map to their
+/// old labels, unseen values get fresh ones.
+pub fn read_csv_with_dictionaries<R: Read>(
+    reader: R,
+    name: &str,
+    options: &CsvOptions,
+) -> Result<(Relation, crate::delta::ColumnDictionaries, IngestReport), CsvError> {
+    let (builder, report) = ingest(reader, name, options)?;
+    let (relation, dicts) = builder.finish_with_dictionaries();
+    Ok((relation, dicts, report))
+}
+
+/// [`read_csv_with_dictionaries`] over a file path.
+pub fn read_csv_file_with_dictionaries(
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+) -> Result<(Relation, crate::delta::ColumnDictionaries, IngestReport), CsvError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv".to_owned());
+    let file = File::open(path)?;
+    read_csv_with_dictionaries(file, &name, options)
+}
+
+/// Reads raw string rows (header names + data rows) without encoding them
+/// into a relation — the delta-file reader: rows are handed to
+/// [`crate::ColumnDictionaries::encode_nullable_row`] against an existing
+/// base table instead of a fresh builder. Honours the separator, header,
+/// and ragged-row policy of `options`; null detection is left to the
+/// caller, who knows the base table's null convention.
+pub fn read_csv_rows<R: Read>(
+    reader: R,
+    options: &CsvOptions,
+) -> Result<(Vec<String>, Vec<Vec<String>>), CsvError> {
+    let mut rows = CsvRows::new(BufReader::new(reader), options.separator);
+    let first = match rows.next_row()? {
+        Some(row) => row,
+        None => return Err(CsvError::Empty),
+    };
+    let (names, mut pending): (Vec<String>, Option<Vec<String>>) = if options.has_header {
+        (first, None)
+    } else {
+        ((0..first.len()).map(|i| format!("col{i}")).collect(), Some(first))
+    };
+    let width = names.len();
+    let mut out: Vec<Vec<String>> = Vec::new();
+    let mut row_no = 1usize;
+    loop {
+        let mut row = match pending.take() {
+            Some(r) => r,
+            None => match rows.next_row()? {
+                Some(r) => r,
+                None => break,
+            },
+        };
+        row_no += 1;
+        if row.len() != width {
+            match options.on_ragged {
+                RaggedPolicy::Error => {
+                    return Err(CsvError::RaggedRow {
+                        row: row_no,
+                        found: row.len(),
+                        expected: width,
+                    });
+                }
+                RaggedPolicy::Skip => continue,
+                RaggedPolicy::Pad => {
+                    if row.len() < width {
+                        row.resize(width, String::new());
+                    } else {
+                        row.truncate(width);
+                    }
+                }
+            }
+        }
+        out.push(row);
+    }
+    Ok((names, out))
+}
+
+/// [`read_csv_rows`] over a file path.
+pub fn read_csv_rows_file(
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+) -> Result<(Vec<String>, Vec<Vec<String>>), CsvError> {
+    let file = File::open(path.as_ref())?;
+    read_csv_rows(file, options)
+}
+
+/// Shared ingestion loop of the relation-producing readers: parses rows,
+/// applies the ragged-row policy, and encodes into a [`RelationBuilder`].
+fn ingest<R: Read>(
+    reader: R,
+    name: &str,
+    options: &CsvOptions,
+) -> Result<(RelationBuilder, IngestReport), CsvError> {
     let mut rows = CsvRows::new(BufReader::new(reader), options.separator);
     let first = match rows.next_row()? {
         Some(row) => row,
@@ -268,7 +372,7 @@ pub fn read_csv_with_report<R: Read>(
         builder.push_nullable_row(&cells, labeling);
         report.rows_kept += 1;
     }
-    Ok((builder.finish(), report))
+    Ok((builder, report))
 }
 
 /// Streaming CSV row reader over an already-buffered source (the callers add
@@ -602,6 +706,39 @@ mod tests {
         assert_eq!(report.rows_read, 1);
         assert_eq!(report.rows_kept, 1);
         assert!(report.issues.is_empty());
+    }
+
+    #[test]
+    fn dictionaries_reader_matches_plain_reader_and_extends_labels() {
+        let data = "a,b\nx,1\ny,2\nx,3\n";
+        let plain = parse(data);
+        use crate::NullLabeling;
+        let (r, mut dicts, report) =
+            read_csv_with_dictionaries(data.as_bytes(), "test", &CsvOptions::default()).unwrap();
+        assert_eq!(r, plain);
+        assert_eq!(report.rows_kept, 3);
+        // A delta row with one known and one unseen value.
+        let encoded = dicts.encode_nullable_row(&[Some("y"), Some("9")], NullLabeling::Shared);
+        assert_eq!(encoded[0], r.label(1, 0), "known value keeps its base label");
+        assert_eq!(encoded[1] as usize, r.n_distinct(1), "unseen value gets the next label");
+    }
+
+    #[test]
+    fn raw_row_reader_returns_strings_and_honours_policies() {
+        let (names, rows) =
+            read_csv_rows("a,b\n1,2\n3,4\n".as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(names, vec!["a".to_string(), "b".into()]);
+        assert_eq!(rows, vec![vec!["1".to_string(), "2".into()], vec!["3".into(), "4".into()]]);
+        // Headerless input keeps the first row as data.
+        let opts = CsvOptions { has_header: false, ..Default::default() };
+        let (names, rows) = read_csv_rows("1,2\n".as_bytes(), &opts).unwrap();
+        assert_eq!(names, vec!["col0".to_string(), "col1".into()]);
+        assert_eq!(rows.len(), 1);
+        // Ragged rows follow the policy.
+        let skip = CsvOptions { on_ragged: RaggedPolicy::Skip, ..Default::default() };
+        let (_, rows) = read_csv_rows("a,b\n1\n2,3\n".as_bytes(), &skip).unwrap();
+        assert_eq!(rows, vec![vec!["2".to_string(), "3".into()]]);
+        assert!(read_csv_rows("a,b\n1\n".as_bytes(), &CsvOptions::default()).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod approx;
 pub mod csv;
+pub mod delta;
 pub mod discovery;
 pub mod partition;
 pub mod pli_cache;
@@ -37,9 +38,12 @@ pub mod synth;
 
 pub use approx::{g3_error, g3_error_cached, g3_of, g3_report, G3Report};
 pub use csv::{
-    read_csv, read_csv_file, read_csv_file_with_report, read_csv_with_report, write_csv,
-    CsvError, CsvOptions, IngestReport, NullPolicy, RaggedPolicy, RowAction, RowIssue,
+    read_csv, read_csv_file, read_csv_file_with_report, read_csv_file_with_dictionaries,
+    read_csv_rows, read_csv_rows_file, read_csv_with_dictionaries, read_csv_with_report,
+    write_csv, CsvError, CsvOptions, IngestReport, NullPolicy, RaggedPolicy, RowAction,
+    RowIssue,
 };
+pub use delta::{ColumnDictionaries, RowDelta};
 pub use discovery::{verify_fds, FdAlgorithm};
 pub use partition::{sampling_clusters, sampling_clusters_parallel, Partition, ProductScratch};
 pub use pli_cache::{sampling_clusters_cached, MemoryPressure, PliCache, PliCacheStats};

@@ -8,6 +8,7 @@
 //! representation and the cache-friendly layout for the pairwise row
 //! comparisons that dominate discovery time.
 
+use crate::delta::{ColumnDictionaries, RowDelta};
 use fd_core::{AttrId, AttrSet, FastHashMap, FastHashSet, ATTR_WORDS, MAX_ATTRS};
 use std::sync::Mutex;
 
@@ -184,6 +185,107 @@ impl Relation {
             self.column_names[..k].to_vec(),
             self.columns[..k].to_vec(),
         )
+    }
+
+    /// True when column `a` holds at most one distinct value. Unlike
+    /// `n_distinct(a) <= 1`, this stays correct on delta-mutated relations,
+    /// where `n_distinct` is only an upper bound on the labels present (a
+    /// delete can remove the last row of a label without shrinking the
+    /// bound). Early-exits on the first disagreeing adjacent pair.
+    pub fn is_constant(&self, a: AttrId) -> bool {
+        if self.n_distinct(a) <= 1 {
+            return true;
+        }
+        self.column(a).windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Applies one batch of row deletes and inserts in place and describes
+    /// the outcome as a [`RowDelta`].
+    ///
+    /// Deletes go first: surviving rows are compacted to the front of every
+    /// column, keeping their relative order. Inserted rows (already encoded
+    /// — labels at or past the current `n_distinct` bound denote values
+    /// unseen in the base dictionary) are then appended in batch order.
+    /// After the batch, `n_distinct(a)` is recomputed as
+    /// `max present label + 1`: still only an upper bound on the number of
+    /// labels present (deletes can leave holes), which is exactly the
+    /// contract [`crate::Partition::of_column`] needs. Use
+    /// [`Relation::is_constant`] rather than `n_distinct` to test constancy
+    /// after a delta.
+    ///
+    /// # Panics
+    /// Panics if a deleted id is out of range or an inserted row's width
+    /// differs from the schema width.
+    pub fn apply_delta(&mut self, inserts: &[Vec<u32>], deletes: &[RowId]) -> RowDelta {
+        let old_n_rows = self.n_rows;
+        let n_attrs = self.n_attrs();
+        for row in inserts {
+            assert_eq!(row.len(), n_attrs, "inserted row width mismatch");
+        }
+        let mut deleted: Vec<RowId> = deletes.to_vec();
+        deleted.sort_unstable();
+        deleted.dedup();
+        if let Some(&last) = deleted.last() {
+            assert!((last as usize) < old_n_rows, "deleted row id {last} out of range");
+        }
+        // Compact survivors to the front of every column.
+        if !deleted.is_empty() {
+            for col in &mut self.columns {
+                let mut del = deleted.iter().peekable();
+                let mut write = 0usize;
+                for t in 0..old_n_rows {
+                    if del.peek() == Some(&&(t as RowId)) {
+                        del.next();
+                        continue;
+                    }
+                    col[write] = col[t];
+                    write += 1;
+                }
+                col.truncate(write);
+            }
+            self.n_rows = old_n_rows - deleted.len();
+        }
+        // Append inserts, recording per-row which labels were already
+        // present (in the post-delete base, or on an earlier batch row).
+        let base_rows = self.n_rows;
+        let mut nonfresh_attrs: Vec<AttrSet> = Vec::with_capacity(inserts.len());
+        let mut touched_labels: Vec<Vec<u32>> = vec![Vec::new(); n_attrs];
+        if !inserts.is_empty() {
+            let mut present: Vec<FastHashSet<u32>> = self
+                .columns
+                .iter()
+                .map(|col| col.iter().copied().collect())
+                .collect();
+            for row in inserts {
+                let mut mask = AttrSet::empty();
+                for (a, &label) in row.iter().enumerate() {
+                    if !present[a].insert(label) {
+                        mask.insert(a as AttrId);
+                    }
+                    touched_labels[a].push(label);
+                    self.columns[a].push(label);
+                }
+                nonfresh_attrs.push(mask);
+            }
+            self.n_rows = base_rows + inserts.len();
+            assert!(self.n_rows <= u32::MAX as usize, "row count exceeds u32 range");
+            for labels in &mut touched_labels {
+                labels.sort_unstable();
+                labels.dedup();
+            }
+        }
+        // Tighten the distinct bound to max present label + 1.
+        for (col, distinct) in self.columns.iter().zip(self.distinct.iter_mut()) {
+            *distinct = col.iter().max().map_or(0, |&m| m + 1);
+        }
+        RowDelta {
+            old_n_rows,
+            new_n_rows: self.n_rows,
+            inserted: (base_rows as RowId..self.n_rows as RowId).collect(),
+            deleted,
+            nonfresh_attrs,
+            touched_labels,
+        }
     }
 
     /// Re-encodes every column to dense labels (dropping labels that no
@@ -544,6 +646,16 @@ impl RelationBuilder {
     pub fn finish(self) -> Relation {
         Relation::from_encoded_columns(self.name, self.column_names, self.columns)
     }
+
+    /// Finishes encoding, also handing back the per-column dictionaries so
+    /// later delta rows can be encoded consistently with the base table
+    /// (see [`ColumnDictionaries`]).
+    pub fn finish_with_dictionaries(self) -> (Relation, ColumnDictionaries) {
+        let dicts = ColumnDictionaries::new(self.dictionaries, self.shared_null, self.next_label);
+        let relation =
+            Relation::from_encoded_columns(self.name, self.column_names, self.columns);
+        (relation, dicts)
+    }
 }
 
 #[cfg(test)]
@@ -652,6 +764,63 @@ mod tests {
                 assert_eq!(rm.agree_set(t, u), r.agree_set(t, u));
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_compacts_deletes_and_appends_inserts() {
+        let mut r = Relation::from_encoded_columns(
+            "d",
+            vec!["x".into(), "y".into()],
+            vec![vec![0, 1, 2, 1], vec![0, 0, 1, 1]],
+        );
+        let delta = r.apply_delta(&[vec![1, 2], vec![5, 0]], &[0, 2]);
+        // Survivors (rows 1 and 3) compact to the front, inserts append.
+        assert_eq!(r.column(0), &[1, 1, 1, 5]);
+        assert_eq!(r.column(1), &[0, 1, 2, 0]);
+        assert_eq!(r.n_rows(), 4);
+        assert_eq!(delta.old_n_rows, 4);
+        assert_eq!(delta.new_n_rows, 4);
+        assert_eq!(delta.deleted, vec![0, 2]);
+        assert_eq!(delta.inserted, vec![2, 3]);
+        // Insert 1: x-label 1 pre-exists, y-label 2 is fresh.
+        assert_eq!(delta.nonfresh_attrs[0], AttrSet::single(0));
+        // Insert 2: x-label 5 fresh, y-label 0 pre-exists.
+        assert_eq!(delta.nonfresh_attrs[1], AttrSet::single(1));
+        assert_eq!(delta.touched_labels[0], vec![1, 5]);
+        assert_eq!(delta.touched_labels[1], vec![0, 2]);
+        // distinct stays a valid bound: max present label + 1.
+        assert_eq!(r.n_distinct(0), 6);
+        assert_eq!(r.n_distinct(1), 3);
+        assert_eq!(delta.row_remap(), vec![u32::MAX, 0, u32::MAX, 1]);
+    }
+
+    #[test]
+    fn nonfresh_catches_labels_introduced_earlier_in_the_batch() {
+        let mut r =
+            Relation::from_encoded_columns("d", vec!["x".into()], vec![vec![0, 1]]);
+        let delta = r.apply_delta(&[vec![7], vec![7]], &[]);
+        // First use of 7 is fresh; the second row must see it as present,
+        // otherwise a new two-row cluster would slip past cache eviction.
+        assert_eq!(delta.nonfresh_attrs[0], AttrSet::empty());
+        assert_eq!(delta.nonfresh_attrs[1], AttrSet::single(0));
+    }
+
+    #[test]
+    fn is_constant_survives_delta_label_holes() {
+        let mut r = Relation::from_encoded_columns(
+            "c",
+            vec!["x".into(), "y".into()],
+            vec![vec![0, 1, 1], vec![0, 1, 2]],
+        );
+        assert!(!r.is_constant(0));
+        let _ = r.apply_delta(&[], &[0]);
+        // Column x now holds only label 1, but the distinct bound stays 2.
+        assert!(r.n_distinct(0) > 1);
+        assert!(r.is_constant(0));
+        assert!(!r.is_constant(1));
+        // Empty relation: every column is vacuously constant.
+        let _ = r.apply_delta(&[], &[0, 1]);
+        assert!(r.is_constant(1));
     }
 
     #[test]

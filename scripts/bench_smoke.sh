@@ -2,10 +2,12 @@
 # Smoke benchmark of the discovery pipeline.
 #
 # Runs the downsized rows-scaling sweep at 1 thread and at $THREADS threads
-# and writes BENCH_PR6.json (wall-clock, pairs/sec, speedup per row point,
+# and writes BENCH_PR8.json (wall-clock, pairs/sec, speedup per row point,
 # per-phase breakdown, the CSR vs nested-vec partition-product microbench,
 # the bit-packed agree-set kernel microbench, the 1/2/4/8-worker scaling
 # section with per-tier steal counts,
+# the delta section: incremental DeltaEngine vs cold re-discovery at
+# 0.1%/1%/5% row deltas,
 # and the telemetry section: recording overhead off vs. on, the EulerFD
 # cycle trace, PLI-cache hit rate, and budget trip latencies for
 # deadline-tripped EulerFD and Tane runs).
@@ -18,14 +20,14 @@
 # This script is NOT part of the CI gate (`cargo build --release && cargo
 # test -q`): timings depend on the machine, so the JSON is informational.
 # Override via environment: THREADS (default 4), ROWS (default 120000),
-# DATASET (default lineitem), OUT (default BENCH_PR6.json).
+# DATASET (default lineitem), OUT (default BENCH_PR8.json).
 set -eu
 cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-4}"
 ROWS="${ROWS:-120000}"
 DATASET="${DATASET:-lineitem}"
-OUT="${OUT:-BENCH_PR6.json}"
+OUT="${OUT:-BENCH_PR8.json}"
 
 cargo run --release -p fd-bench --features telemetry --bin bench_smoke -- \
     --dataset "$DATASET" --rows "$ROWS" --threads "$THREADS" --out "$OUT" "$@"

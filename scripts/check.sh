@@ -8,14 +8,20 @@
 # Pass `--chaos` to also run the seeded fault-injection suite
 # (tests/chaos.rs) with the `faults` feature armed. The seed set is fixed
 # in the test itself, so a `--chaos` run is fully reproducible.
+#
+# Pass `--delta-gate` to also run the incremental-maintenance gate: a 1%
+# row delta must re-discover in <= 25% of the cold wall with a
+# byte-identical FD set (bench_smoke --delta-gate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_CHAOS=0
+RUN_DELTA_GATE=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) RUN_CHAOS=1 ;;
-        *) echo "unknown option: $arg (supported: --chaos)" >&2; exit 2 ;;
+        --delta-gate) RUN_DELTA_GATE=1 ;;
+        *) echo "unknown option: $arg (supported: --chaos, --delta-gate)" >&2; exit 2 ;;
     esac
 done
 
@@ -39,6 +45,14 @@ cargo clippy --workspace -- -D warnings -A clippy::needless_range_loop
 # floor of 1.2x.
 cargo run --release -p fd-bench --bin bench_smoke -- \
     --scaling-gate --rows 30000 --repeat 1
+
+# Delta-maintenance gate (opt-in): incremental re-discovery after a 1% row
+# delta must cost <= 25% of a cold run and produce the byte-identical FD
+# set; 0.1% and 5% points are measured alongside for the curve.
+if [ "$RUN_DELTA_GATE" -eq 1 ]; then
+    cargo run --release -p fd-bench --bin bench_smoke -- \
+        --delta-gate --rows 8000 --repeat 1
+fi
 
 # Telemetry schema gate: build the telemetry-on binary, export a real
 # metrics file from a real discovery run on the bundled paper example, and

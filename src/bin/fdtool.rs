@@ -4,6 +4,7 @@
 //! fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep ;] [--no-header]
 //!                            [--budget-ms N] [--on-ragged error|skip|pad]
 //!                            [--metrics-out <path>] [--metrics-summary]
+//!                            [--delta-csv <rows.csv>] [--delete-rows 3,17,99]
 //! fdtool keys     <file.csv> [--sep ;] [--no-header]
 //! fdtool profile  <file.csv>            # column statistics
 //! fdtool compare  <file.csv>            # all algorithms side by side
@@ -17,6 +18,14 @@
 //! a tripped run reports its sound partial result); `--on-ragged` chooses
 //! what to do with rows whose field count disagrees with the header.
 //!
+//! `--delta-csv <rows.csv>` and/or `--delete-rows <ids>` switch `discover`
+//! into incremental mode: the base table is discovered cold with the exact
+//! delta-maintenance engine, the delta is applied incrementally (new rows
+//! encoded against the base table's value dictionaries, deletes by 0-based
+//! row id), and the timings of the incremental repair and a cold re-run on
+//! the mutated table are printed side by side, with an identity check on
+//! the two FD sets.
+//!
 //! `--metrics-out <path>` writes one versioned `fd-telemetry/v1` JSON
 //! snapshot of every counter, histogram, and cycle-trace event the run
 //! emitted; `--metrics-summary` prints the human-readable table to stderr.
@@ -29,7 +38,8 @@ use eulerfd_suite::baselines::{AidFd, FastFds, Fdep, HyFd, Tane};
 use eulerfd_suite::core::{bcnf_violations, candidate_keys, Accuracy, Budget, FdSet, Termination};
 use eulerfd_suite::relation::synth::{dataset_names, dataset_spec};
 use eulerfd_suite::relation::{
-    read_csv_file_with_report, write_csv, CsvOptions, FdAlgorithm, RaggedPolicy, Relation,
+    read_csv_file_with_dictionaries, read_csv_file_with_report, read_csv_rows_file, write_csv,
+    CsvOptions, FdAlgorithm, NullLabeling, NullPolicy, RaggedPolicy, Relation,
 };
 use std::io::Write;
 use std::process::exit;
@@ -73,7 +83,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad] [--metrics-out PATH] [--metrics-summary]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P] [--metrics-out PATH] [--metrics-summary]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets"
+        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad] [--metrics-out PATH] [--metrics-summary] [--delta-csv ROWS.csv] [--delete-rows 3,17,99]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P] [--metrics-out PATH] [--metrics-summary]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets"
     );
     exit(2);
 }
@@ -85,6 +95,8 @@ struct FileArgs {
     deadline: Option<Duration>,
     metrics_out: Option<String>,
     metrics_summary: bool,
+    delta_csv: Option<String>,
+    delete_rows: Vec<u32>,
 }
 
 impl FileArgs {
@@ -136,9 +148,20 @@ fn parse_file_args(args: &[String]) -> FileArgs {
     let mut deadline = None;
     let mut metrics_out = None;
     let mut metrics_summary = false;
+    let mut delta_csv = None;
+    let mut delete_rows = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--delta-csv" => delta_csv = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--delete-rows" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                delete_rows = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<u32>().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
             "--sep" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 options.separator = *v.as_bytes().first().unwrap_or(&b',');
@@ -173,6 +196,8 @@ fn parse_file_args(args: &[String]) -> FileArgs {
         deadline,
         metrics_out,
         metrics_summary,
+        delta_csv,
+        delete_rows,
     }
 }
 
@@ -241,6 +266,10 @@ fn run_algo(name: &str, relation: &Relation, budget: &Budget) -> (FdSet, Termina
 
 fn discover(args: &[String]) {
     let fa = parse_file_args(args);
+    if fa.delta_csv.is_some() || !fa.delete_rows.is_empty() {
+        discover_delta(&fa);
+        return;
+    }
     fa.arm_metrics();
     let relation = load(&fa.path, &fa.options);
     eprintln!(
@@ -262,6 +291,115 @@ fn discover(args: &[String]) {
         eprintln!("{} FDs in {:.3}s", fds.len(), start.elapsed().as_secs_f64());
     }
     fa.emit_metrics();
+    emit_lines(fds.iter().map(|fd| fd.display(relation.column_names()).to_string()));
+}
+
+/// Incremental discovery: cold run on the base table, then an in-place
+/// delta repair, timed against a cold re-run on the mutated table.
+fn discover_delta(fa: &FileArgs) {
+    if fa.algo != "euler" {
+        eprintln!("--delta-csv/--delete-rows use the exact incremental EulerFD engine; --algo {} is not supported", fa.algo);
+        exit(2);
+    }
+    fa.arm_metrics();
+    let (relation, mut dicts, report) =
+        match read_csv_file_with_dictionaries(&fa.path, &fa.options) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", fa.path);
+                exit(1);
+            }
+        };
+    if !report.issues.is_empty() {
+        eprintln!(
+            "{}: kept {} of {} data rows ({} shape issue(s))",
+            fa.path,
+            report.rows_kept,
+            report.rows_read,
+            report.issues.len()
+        );
+    }
+    eprintln!(
+        "{}: {} rows x {} attributes (base table)",
+        relation.name(),
+        relation.n_rows(),
+        relation.n_attrs()
+    );
+    for &d in &fa.delete_rows {
+        if d as usize >= relation.n_rows() {
+            eprintln!("--delete-rows: row id {d} is out of range (base table has {} rows)", relation.n_rows());
+            exit(2);
+        }
+    }
+
+    // Encode the delta rows against the base table's dictionaries: known
+    // values keep their labels, unseen values get fresh ones, and nulls
+    // follow the same token + policy as the base ingestion.
+    let labeling = match fa.options.null_policy {
+        NullPolicy::NullEqualsNull => NullLabeling::Shared,
+        NullPolicy::NullNotEquals => NullLabeling::Distinct,
+    };
+    let mut inserts: Vec<Vec<u32>> = Vec::new();
+    if let Some(delta_path) = &fa.delta_csv {
+        let (names, rows) = match read_csv_rows_file(delta_path, &fa.options) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error reading {delta_path}: {e}");
+                exit(1);
+            }
+        };
+        if names.len() != relation.n_attrs() {
+            eprintln!(
+                "{delta_path}: {} columns, but the base table has {}",
+                names.len(),
+                relation.n_attrs()
+            );
+            exit(2);
+        }
+        let is_null = |field: &str| {
+            field.is_empty() || fa.options.null_token.as_deref() == Some(field)
+        };
+        for row in &rows {
+            let nullable: Vec<Option<&str>> =
+                row.iter().map(|f| if is_null(f) { None } else { Some(f.as_str()) }).collect();
+            inserts.push(dicts.encode_nullable_row(&nullable, labeling));
+        }
+    }
+
+    let start = Instant::now();
+    let mut engine = EulerFd::new().discover_incremental(&relation);
+    let cold_s = start.elapsed().as_secs_f64();
+    eprintln!("cold discovery: {} FDs in {cold_s:.3}s", engine.fds().len());
+
+    let start = Instant::now();
+    let delta_report = engine.apply_delta(&inserts, &fa.delete_rows);
+    let incremental_s = start.elapsed().as_secs_f64();
+    eprintln!(
+        "delta: +{} rows, -{} rows -> {} rows; {} agree set(s) died, {} fresh, {} candidate(s) revived",
+        delta_report.rows_inserted,
+        delta_report.rows_deleted,
+        engine.relation().n_rows(),
+        delta_report.dead_agree_sets,
+        delta_report.fresh_agree_sets,
+        delta_report.candidates_revived,
+    );
+
+    // Reference: what a from-scratch run on the mutated table costs.
+    let start = Instant::now();
+    let cold_engine = EulerFd::new().discover_incremental(engine.relation());
+    let recold_s = start.elapsed().as_secs_f64();
+    let identical = cold_engine.fds() == engine.fds();
+    let fds = engine.fds();
+    eprintln!(
+        "incremental re-discovery: {} FDs in {incremental_s:.3}s ({:.1}% of the {recold_s:.3}s cold re-run); FD sets {}",
+        fds.len(),
+        100.0 * incremental_s / recold_s.max(1e-9),
+        if identical { "identical" } else { "DIVERGED" },
+    );
+    fa.emit_metrics();
+    if !identical {
+        exit(1);
+    }
     emit_lines(fds.iter().map(|fd| fd.display(relation.column_names()).to_string()));
 }
 

@@ -396,6 +396,60 @@ fn fired_faults_surface_as_telemetry_counters() {
     assert!(snapshot.counter("cache.pressure_shrink").unwrap_or(0) > 0);
 }
 
+/// `delta.apply` is deliberately NOT in [`ALGO_SITES`]: the sweep's 200
+/// schedules never call the delta engine, so adding the site there would
+/// only dilute the per-site fire rates the sweep asserts on. The dedicated
+/// invariant — an allocation failure mid-delta degrades to a cold rebuild
+/// and never to a wrong answer — is pinned here instead.
+#[test]
+fn delta_apply_alloc_failure_falls_back_to_cold_rebuild() {
+    let _l = chaos_lock();
+    use eulerfd_suite::algo::DeltaEngine;
+    let relation = patient();
+    let inserts = vec![vec![2, 1, 0, 1, 2], vec![9, 9, 9, 0, 9]];
+    // Fault-free reference: the same two deltas on an unfaulted engine.
+    let (expected_relation, expected_fds) = {
+        let _quiet = fd_faults::install_guard(FaultPlan::new(0));
+        let mut engine = DeltaEngine::new(relation.clone(), 2);
+        engine.apply_delta(&inserts, &[0, 4]);
+        engine.apply_delta(&[], &[2]);
+        (engine.relation().clone(), engine.fds())
+    };
+
+    // Always-on allocation failure: every delta takes the cold fallback,
+    // and both the relation and the cover still land exactly where the
+    // incremental path would have put them.
+    let _g = fd_faults::install_guard(FaultPlan::new(8).with(
+        "delta.apply",
+        FaultAction::AllocFail,
+        Schedule::Always,
+    ));
+    let mut engine = DeltaEngine::new(relation.clone(), 2);
+    let first = engine.apply_delta(&inserts, &[0, 4]);
+    let second = engine.apply_delta(&[], &[2]);
+    assert!(first.cold_fallback && second.cold_fallback);
+    assert_eq!(engine.stats().cold_fallbacks, 2);
+    assert_eq!(engine.relation(), &expected_relation);
+    assert_eq!(engine.fds(), expected_fds);
+    assert_eq!(fd_faults::fired_counts(), vec![("delta.apply".to_string(), 2)]);
+
+    // Every(2): the run mixes incremental and fallback paths, and the mix
+    // is invisible in the answer.
+    let _g = fd_faults::install_guard(FaultPlan::new(9).with(
+        "delta.apply",
+        FaultAction::AllocFail,
+        Schedule::Every(2),
+    ));
+    let mut engine = DeltaEngine::new(relation, 2);
+    let first = engine.apply_delta(&inserts, &[0, 4]);
+    let second = engine.apply_delta(&[], &[2]);
+    assert_ne!(first.cold_fallback, second.cold_fallback, "Every(2) must mix both paths");
+    assert_eq!(engine.stats().cold_fallbacks, 1);
+    assert_eq!(engine.relation(), &expected_relation);
+    assert_eq!(engine.fds(), expected_fds);
+    assert!(fd_faults::total_fired() > 0, "the Every(2) schedule never fired");
+}
+
 #[test]
 fn critical_pressure_mid_run_keeps_the_cache_transparent() {
     let _l = chaos_lock();
