@@ -86,7 +86,31 @@ impl Sampler {
     /// partitions; the MLFQ starts empty until [`Sampler::initial_pass`].
     pub fn new(relation: &Relation, config: &EulerFdConfig) -> Self {
         let threads = config.resolved_threads();
-        let clusters: Vec<ClusterState> = sampling_clusters_parallel(relation, threads)
+        let clusters = sampling_clusters_parallel(relation, threads);
+        Self::from_cluster_rows(clusters, relation, config)
+    }
+
+    /// [`Sampler::new`] with the single-attribute partitions built — or
+    /// reused — through a [`fd_relation::PliCache`]. This is the long-lived
+    /// serving path: a catalog keeps the pinned singles resident across
+    /// requests, so repeat discoveries skip the partition build entirely.
+    /// The cluster population (and with it every downstream result) is
+    /// byte-identical to the uncached constructor.
+    pub fn new_cached(
+        relation: &Relation,
+        config: &EulerFdConfig,
+        cache: &mut fd_relation::PliCache,
+    ) -> Self {
+        let clusters = fd_relation::sampling_clusters_cached(relation, cache);
+        Self::from_cluster_rows(clusters, relation, config)
+    }
+
+    fn from_cluster_rows(
+        clusters: Vec<Vec<RowId>>,
+        relation: &Relation,
+        config: &EulerFdConfig,
+    ) -> Self {
+        let clusters: Vec<ClusterState> = clusters
             .into_iter()
             .map(|rows| ClusterState { rows, window: 2, recent: VecDeque::new() })
             .collect();
@@ -97,7 +121,7 @@ impl Sampler {
             retired: Vec::new(),
             seen_agree: FastHashSet::default(),
             row_major: relation.row_major(),
-            threads,
+            threads: config.resolved_threads(),
             pair_buf: Vec::new(),
             recent_window: config.recent_window.max(1),
             stats,

@@ -71,7 +71,9 @@ impl DepMiner {
             if let Some(t) = budget.poll(0, out.len()) {
                 return (out, t);
             }
-            if relation.n_distinct(rhs) <= 1 {
+            // Value scan, not the `n_distinct` label bound: a delta-mutated
+            // relation can report `n_distinct > 1` for a constant column.
+            if relation.is_constant(rhs) {
                 out.insert(Fd::new(AttrSet::empty(), rhs));
                 continue;
             }

@@ -73,8 +73,10 @@ impl FastFds {
             if let Some(t) = budget.poll(0, out.len()) {
                 return (out, t);
             }
-            if relation.n_distinct(rhs) <= 1 {
-                // Constant column: ∅ → rhs is the unique minimal FD.
+            if relation.is_constant(rhs) {
+                // Constant column: ∅ → rhs is the unique minimal FD. The
+                // value scan (not the `n_distinct` label bound) keeps this
+                // correct on delta-mutated relations.
                 out.insert(Fd::new(AttrSet::empty(), rhs));
                 continue;
             }

@@ -23,7 +23,12 @@ use fd_relation::{FdAlgorithm, Relation};
 /// one (Definition 2 with `X = ∅`).
 pub(crate) fn seed_empty_lhs_non_fds(relation: &Relation, ncover: &mut NCover) {
     for a in 0..relation.n_attrs() {
-        if relation.n_distinct(a as AttrId) > 1 {
+        // Constancy is a value scan, not `n_distinct > 1`: after
+        // `Relation::apply_delta` the distinct count is only a label bound
+        // and may overshoot on a column whose last disagreeing rows were
+        // deleted — seeding `∅ ↛ A` for such a column would assert a
+        // violating pair that does not exist.
+        if !relation.is_constant(a as AttrId) {
             ncover.add(Fd::new(AttrSet::empty(), a as AttrId));
         }
     }
@@ -138,6 +143,31 @@ mod tests {
         assert!(verify_fds(&r, &fds).is_empty());
         // Both columns are keys, so each determines the other.
         assert_eq!(fds.len(), 2);
+    }
+
+    #[test]
+    fn stale_distinct_bound_does_not_misclassify_constant_column() {
+        // Regression: after `apply_delta` deletes, `n_distinct` is only a
+        // label bound (max present label + 1). Delete the sole row carrying
+        // label 0 of column y so the survivors all carry label 2: y is now
+        // constant but the bound stays 3 — deciding constancy from the bound
+        // would seed the bogus non-FD `∅ ↛ y` and suppress the true FD
+        // `∅ → y`.
+        use crate::{DepMiner, FastFds};
+        let mut r = Relation::from_encoded_columns(
+            "d",
+            vec!["k".into(), "y".into()],
+            vec![vec![0, 1, 2, 3], vec![2, 0, 2, 2]],
+        );
+        r.apply_delta(&[], &[1]);
+        assert!(r.n_distinct(1) > 1, "bound must stay stale for the test to bite");
+        assert!(r.is_constant(1));
+        let truth = Exhaustive.discover(&r);
+        assert!(truth.contains(&fd_core::Fd::new(AttrSet::empty(), 1)));
+        assert_eq!(Fdep::new().discover(&r), truth, "Fdep");
+        assert_eq!(FastFds::new().discover(&r), truth, "FastFDs");
+        assert_eq!(DepMiner::new().discover(&r), truth, "Dep-Miner");
+        assert!(verify_fds(&r, &truth).is_empty());
     }
 
     #[test]

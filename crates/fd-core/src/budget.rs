@@ -201,6 +201,38 @@ impl Budget {
         self
     }
 
+    /// Builder: replace the budget's token with an existing one, sharing
+    /// cancellation with whoever else holds a clone (e.g. a serving layer's
+    /// per-job cancel handle). Used together with [`Budget::share`], which
+    /// deliberately hands each share a fresh token.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = token;
+        self
+    }
+
+    /// Splits off one of `parts` equal shares of this budget, for fair
+    /// apportionment of a tenant-level budget across concurrent jobs:
+    ///
+    /// * resource caps (pairs, cover nodes) are divided by `parts`,
+    ///   rounding up so no share is zeroed by integer division;
+    /// * the absolute deadline is kept as-is — wall-clock is a shared axis,
+    ///   and every share racing the same instant is exactly the fairness a
+    ///   deadline expresses;
+    /// * the share gets a **fresh** token, so one job tripping (or being
+    ///   cancelled) never cancels its siblings. Attach a job's own cancel
+    ///   handle with [`Budget::with_token`].
+    ///
+    /// `parts` is clamped to at least 1.
+    pub fn share(&self, parts: usize) -> Budget {
+        let parts = parts.max(1);
+        Budget {
+            deadline: self.deadline,
+            max_pairs: self.max_pairs.map(|cap| cap.div_ceil(parts as u64)),
+            max_cover_nodes: self.max_cover_nodes.map(|cap| cap.div_ceil(parts)),
+            token: CancelToken::new(),
+        }
+    }
+
     /// The shared cancellation token.
     pub fn token(&self) -> &CancelToken {
         &self.token
@@ -365,6 +397,36 @@ mod tests {
         // The trip is sticky via the token.
         assert!(b.token().is_cancelled());
         assert_eq!(b.poll(0, 0), Some(Termination::PairBudget));
+    }
+
+    #[test]
+    fn share_divides_caps_and_isolates_tokens() {
+        let b = Budget::unlimited().pair_cap(100).cover_cap(7);
+        let s = b.share(4);
+        assert_eq!(s.poll(25, 0), None);
+        assert_eq!(s.poll(26, 0), Some(Termination::PairBudget));
+        // cover cap 7 over 4 parts rounds up to 2, never to zero.
+        let s2 = b.share(4);
+        assert_eq!(s2.poll(0, 2), None);
+        assert_eq!(s2.poll(0, 3), Some(Termination::MemoryBudget));
+        // One share's trip must not leak into the parent or a sibling.
+        assert!(!b.token().is_cancelled());
+        let s3 = b.share(4);
+        assert_eq!(s3.poll(0, 0), None);
+        // parts = 0 clamps to one whole share.
+        let whole = b.share(0);
+        assert_eq!(whole.poll(100, 7), None);
+        // Sharing an unlimited budget stays unlimited.
+        assert!(Budget::unlimited().share(8).is_unlimited());
+    }
+
+    #[test]
+    fn with_token_shares_external_cancellation() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().pair_cap(10).share(2).with_token(token.clone());
+        assert_eq!(b.poll(0, 0), None);
+        token.cancel();
+        assert_eq!(b.poll(0, 0), Some(Termination::Cancelled));
     }
 
     #[test]

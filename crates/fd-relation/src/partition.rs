@@ -132,6 +132,15 @@ impl Partition {
         p
     }
 
+    /// The empty partition over a relation with `n_rows` total rows: no
+    /// clusters, offsets fence `[0]`. This is the canonical degenerate form
+    /// every constructor produces when nothing is covered — exposed so
+    /// callers that *know* the result is empty (e.g. a delta that deletes
+    /// every row) can state it directly instead of remapping into it.
+    pub fn empty(n_rows: usize) -> Partition {
+        Partition { rows: Vec::new(), offsets: vec![0], n_rows }
+    }
+
     /// Iterates the clusters as row-id slices, in canonical order.
     pub fn clusters(&self) -> impl ExactSizeIterator<Item = &[RowId]> + Clone + '_ {
         self.offsets

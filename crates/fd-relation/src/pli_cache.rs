@@ -288,9 +288,19 @@ impl PliCache {
         let keys: Vec<AttrSet> = self.entries.keys().copied().collect();
         for key in keys {
             let Some(entry) = self.entries.get(&key) else { continue };
-            let mut patched = match &remap {
-                Some(r) => entry.partition.remap_rows(r, delta.new_n_rows),
-                None => entry.partition.with_total_rows(delta.new_n_rows),
+            let mut patched = if delta.new_n_rows == 0 {
+                // The delta emptied the table (all rows deleted, nothing
+                // inserted — `new_n_rows` counts post-insert rows). Every
+                // partition collapses to the canonical empty form; stating
+                // it directly guarantees the offsets fence stays `[0]`, so
+                // derivation over the emptied cache never walks an empty
+                // fence.
+                Partition::empty(0)
+            } else {
+                match &remap {
+                    Some(r) => entry.partition.remap_rows(r, delta.new_n_rows),
+                    None => entry.partition.with_total_rows(delta.new_n_rows),
+                }
             };
             if !delta.inserted.is_empty() && key.len() == 1 {
                 let a = key.first().unwrap_or_default();
@@ -675,6 +685,44 @@ mod tests {
         // The cache still answers correctly afterwards (re-derives from singles).
         let attrs = AttrSet::from_attrs([1u16, 2, 3]);
         assert_eq!(*cache.get(&r, &attrs), fresh(&r, &attrs));
+    }
+
+    #[test]
+    fn delta_deleting_every_row_keeps_cache_transparent() {
+        let mut r = patient();
+        let mut cache = PliCache::with_default_budget();
+        let keys = [
+            AttrSet::single(1),
+            AttrSet::from_attrs([1u16, 2]),
+            AttrSet::from_attrs([1u16, 2, 3]),
+        ];
+        for k in &keys {
+            let _ = cache.get(&r, k);
+        }
+        let all: Vec<RowId> = (0..r.n_rows() as RowId).collect();
+        let delta = r.apply_delta(&[], &all);
+        cache.apply_delta(&r, &delta);
+        assert_eq!(r.n_rows(), 0);
+        for k in &keys {
+            let got = cache.get(&r, k);
+            assert_eq!(*got, fresh(&r, k), "{k:?}");
+            assert_eq!(got.n_clusters(), 0);
+            assert_eq!(got.covered_rows(), 0);
+            assert_eq!(got.n_rows(), 0);
+        }
+        // Deriving an uncached superset walks the product over the emptied
+        // ancestors — it must terminate cleanly, never indexing past the
+        // `[0]` offsets fence.
+        let sup = AttrSet::from_attrs([1u16, 2, 4]);
+        assert_eq!(*cache.get(&r, &sup), fresh(&r, &sup));
+        // Refilling the emptied table stays transparent too (insert-only
+        // delta on a zero-row base: every label is fresh, singles patch).
+        let delta2 = r.apply_delta(&[vec![0, 0, 1, 0, 2], vec![0, 1, 1, 0, 2]], &[]);
+        cache.apply_delta(&r, &delta2);
+        assert_eq!(r.n_rows(), 2);
+        for k in keys.iter().chain([&sup]) {
+            assert_eq!(*cache.get(&r, k), fresh(&r, k), "{k:?} after refill");
+        }
     }
 
     #[test]

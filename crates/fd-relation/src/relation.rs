@@ -81,8 +81,33 @@ impl Relation {
     }
 
     /// Number of distinct values in column `a`.
+    ///
+    /// After [`Relation::apply_delta`] deletes this is only an **upper
+    /// bound** on the labels present (a delete can remove the last row of a
+    /// label without compacting the label space). That bound is exactly what
+    /// [`crate::Partition::of_column`] needs for sizing, but it must never
+    /// drive semantic decisions — use [`Relation::n_distinct_exact`] or
+    /// [`Relation::is_constant`] for those.
     pub fn n_distinct(&self, a: AttrId) -> usize {
         self.distinct[a as usize] as usize
+    }
+
+    /// Exact number of distinct labels *present* in column `a`, counted by a
+    /// value scan. Agrees with [`Relation::n_distinct`] on freshly encoded
+    /// relations and stays correct after [`Relation::apply_delta`], where the
+    /// plain count is only a label bound. O(n) time, O(bound) scratch.
+    pub fn n_distinct_exact(&self, a: AttrId) -> usize {
+        let bound = self.n_distinct(a);
+        let mut seen = vec![false; bound];
+        let mut count = 0usize;
+        for &label in self.column(a) {
+            let s = &mut seen[label as usize];
+            if !*s {
+                *s = true;
+                count += 1;
+            }
+        }
+        count
     }
 
     /// The encoded labels of column `a`.
@@ -821,6 +846,28 @@ mod tests {
         // Empty relation: every column is vacuously constant.
         let _ = r.apply_delta(&[], &[0, 1]);
         assert!(r.is_constant(1));
+    }
+
+    #[test]
+    fn n_distinct_exact_sees_through_delta_label_holes() {
+        let mut r = Relation::from_encoded_columns(
+            "c",
+            vec!["x".into(), "y".into()],
+            vec![vec![0, 1, 1, 2], vec![0, 1, 2, 3]],
+        );
+        assert_eq!(r.n_distinct_exact(0), 3);
+        assert_eq!(r.n_distinct_exact(0), r.n_distinct(0));
+        // Delete rows 0 and 3: column x keeps only label 1, so the bound is
+        // recomputed as max present label + 1 = 2 — still above the true
+        // count of 1.
+        let _ = r.apply_delta(&[], &[0, 3]);
+        assert!(r.n_distinct(0) > 1, "stale bound overshoots");
+        assert_eq!(r.n_distinct_exact(0), 1, "exact count sees the hole");
+        assert!(r.is_constant(0));
+        // Empty relation: zero distinct values everywhere.
+        let _ = r.apply_delta(&[], &[0, 1]);
+        assert_eq!(r.n_distinct_exact(0), 0);
+        assert_eq!(r.n_distinct_exact(1), 0);
     }
 
     #[test]

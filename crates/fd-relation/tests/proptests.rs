@@ -585,17 +585,23 @@ fn novel_agree_sets_fold_matches_sequential_novelty_scan() {
 
 /// A relation plus one insert/delete wave for delta-maintenance tests.
 /// Insert labels range over 0..6 so both reused and fresh labels occur.
+/// One scenario in eight deletes *every* row, exercising the empty-relation
+/// edge where remapped partitions collapse to the `[0]` offsets fence.
 fn delta_strategy() -> impl Strategy<Value = (Relation, Vec<Vec<u32>>, Vec<RowId>)> {
     relation_strategy().prop_flat_map(|relation| {
         let cols = relation.n_attrs();
         let rows = relation.n_rows() as u32;
+        let deletes = proptest::prop_oneof![
+            7 => proptest::collection::vec(0..rows, 0..=6),
+            1 => Just((0..rows).collect::<Vec<RowId>>()),
+        ];
         (
             Just(relation),
             proptest::collection::vec(
                 proptest::collection::vec(0u32..6, cols..=cols),
                 0..=4,
             ),
-            proptest::collection::vec(0..rows, 0..=6),
+            deletes,
         )
     })
 }

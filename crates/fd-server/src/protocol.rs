@@ -1,0 +1,404 @@
+//! The line protocol behind `fdtool serve`.
+//!
+//! One request per input line, whitespace-separated tokens; one JSON object
+//! per response line. Deliberately minimal — no async runtime, no framing
+//! beyond newlines — so the server is driveable from a shell pipe, an
+//! integration test, or `nc -U` against the Unix socket.
+//!
+//! Commands (`submit <cmd...>` makes any of the blocking ones asynchronous):
+//!
+//! ```text
+//! register <name> <csv-path>
+//! discover <name> [th_ncover=V] [th_pcover=V]
+//! validate <name> <lhs-csv|-> <rhs>
+//! keys <name>
+//! delta <name> [delete=0,1,2] [insert=a|b|c;d|e|f]
+//! submit <subcommand...>         -> {"ok":true,"job":N}
+//! wait <job>
+//! cancel <job>
+//! stats
+//! quit
+//! ```
+//!
+//! FDs are rendered as sorted `"0,1->2"` strings (attribute ids, empty LHS
+//! renders as `"->2"`), so two responses are comparable byte-for-byte.
+
+use crate::jobs::{DiscoverOptions, JobOutcome, JobResult, Request, RowsSpec};
+use crate::server::{Server, Session};
+use fd_core::{AttrId, AttrSet, FdSet};
+use std::io::{BufRead, BufReader, Write};
+
+/// Serves the line protocol over any reader/writer pair until EOF or
+/// `quit`. Each call gets its own [`Session`] (weight 1), so concurrent
+/// connections are scheduled fairly against each other.
+pub fn serve_lines<R: BufRead, W: Write>(
+    server: &Server,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<()> {
+    let session = server.session();
+    for line in reader.lines() {
+        let line = line?;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        if tokens[0] == "quit" {
+            writeln!(writer, "{}", ok_object(&[("bye", JsonValue::Bool(true))]))?;
+            writer.flush()?;
+            break;
+        }
+        let response = handle_command(server, &session, &tokens);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Serves connections on a Unix socket, one thread per connection. Blocks
+/// until the listener errors (e.g. the socket file is removed). The socket
+/// file is created fresh; a stale file from a previous run is removed.
+pub fn serve_unix(server: &Server, path: &str) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            scope.spawn(move || {
+                let reader = BufReader::new(stream.try_clone().expect("clone unix stream"));
+                let _ = serve_lines(server, reader, stream);
+            });
+        }
+        Ok(())
+    })
+}
+
+/// Executes one parsed command line and returns the JSON response line.
+/// Public so integration tests can drive the protocol without I/O plumbing.
+pub fn handle_command(server: &Server, session: &Session, tokens: &[&str]) -> String {
+    match tokens {
+        ["register", name, path] => match server.register_csv(name, path) {
+            Ok(info) => ok_object(&[
+                ("dataset", JsonValue::Str(info.name)),
+                ("version", JsonValue::Num(info.version as f64)),
+                ("rows", JsonValue::Num(info.rows as f64)),
+                ("cols", JsonValue::Num(info.cols as f64)),
+                ("fd_count", JsonValue::Num(info.fd_count as f64)),
+            ]),
+            Err(e) => err_line(&e.to_string()),
+        },
+        ["submit", rest @ ..] if !rest.is_empty() => match parse_request(rest) {
+            Ok(request) => {
+                let job = session.submit(request);
+                ok_object(&[("job", JsonValue::Num(job as f64))])
+            }
+            Err(e) => err_line(&e),
+        },
+        ["wait", job] => match job.parse::<u64>() {
+            Ok(job) => render_result(&session.wait(job)),
+            Err(_) => err_line("wait: job id must be an integer"),
+        },
+        ["cancel", job] => match job.parse::<u64>() {
+            Ok(job) => {
+                let cancelled = session.cancel(job);
+                ok_object(&[("cancelled", JsonValue::Bool(cancelled))])
+            }
+            Err(_) => err_line("cancel: job id must be an integer"),
+        },
+        ["stats"] => {
+            let stats = server.stats();
+            let datasets = server.catalog().list();
+            ok_object(&[
+                ("jobs_completed", JsonValue::Num(stats.jobs_completed as f64)),
+                ("jobs_cancelled", JsonValue::Num(stats.jobs_cancelled as f64)),
+                ("cache_hits", JsonValue::Num(stats.cache_hits as f64)),
+                ("cache_invalidations", JsonValue::Num(stats.cache_invalidations as f64)),
+                ("jobs_panicked", JsonValue::Num(stats.jobs_panicked as f64)),
+                ("datasets", JsonValue::Num(datasets.len() as f64)),
+            ])
+        }
+        rest => match parse_request(rest) {
+            Ok(request) => render_result(&session.run(request)),
+            Err(e) => err_line(&e),
+        },
+    }
+}
+
+/// Parses the blocking subcommands (`discover`/`validate`/`keys`/`delta`)
+/// into a [`Request`].
+fn parse_request(tokens: &[&str]) -> Result<Request, String> {
+    match tokens {
+        ["discover", name, opts @ ..] => {
+            let mut options = DiscoverOptions::default();
+            for opt in opts {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("discover: expected key=value, got '{opt}'"))?;
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|_| format!("discover: '{key}' needs a number, got '{value}'"))?;
+                match key {
+                    "th_ncover" => options.th_ncover = Some(parsed),
+                    "th_pcover" => options.th_pcover = Some(parsed),
+                    _ => return Err(format!("discover: unknown option '{key}'")),
+                }
+            }
+            Ok(Request::Discover { dataset: (*name).to_owned(), options })
+        }
+        ["validate", name, lhs, rhs] => {
+            let lhs: Vec<AttrId> = if *lhs == "-" {
+                Vec::new()
+            } else {
+                lhs.split(',')
+                    .map(|a| a.parse().map_err(|_| format!("validate: bad attribute '{a}'")))
+                    .collect::<Result<_, _>>()?
+            };
+            let rhs: AttrId =
+                rhs.parse().map_err(|_| format!("validate: bad attribute '{rhs}'"))?;
+            Ok(Request::Validate { dataset: (*name).to_owned(), lhs, rhs })
+        }
+        ["keys", name] => Ok(Request::Keys { dataset: (*name).to_owned() }),
+        ["delta", name, opts @ ..] => {
+            let mut deletes = Vec::new();
+            let mut inserts = Vec::new();
+            for opt in opts {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("delta: expected key=value, got '{opt}'"))?;
+                match key {
+                    "delete" => {
+                        for id in value.split(',').filter(|s| !s.is_empty()) {
+                            deletes.push(
+                                id.parse()
+                                    .map_err(|_| format!("delta: bad row id '{id}'"))?,
+                            );
+                        }
+                    }
+                    "insert" => {
+                        for row in value.split(';').filter(|s| !s.is_empty()) {
+                            inserts.push(row.split('|').map(str::to_owned).collect());
+                        }
+                    }
+                    _ => return Err(format!("delta: unknown option '{key}'")),
+                }
+            }
+            if deletes.is_empty() && inserts.is_empty() {
+                return Err("delta: need delete= and/or insert=".to_owned());
+            }
+            Ok(Request::Delta {
+                dataset: (*name).to_owned(),
+                inserts: RowsSpec::Raw(inserts),
+                deletes,
+            })
+        }
+        [cmd, ..] => Err(format!("unknown command '{cmd}'")),
+        [] => Err("empty command".to_owned()),
+    }
+}
+
+/// Renders one FD as the canonical `"0,1->2"` form.
+fn render_fd(lhs: &AttrSet, rhs: AttrId) -> String {
+    let lhs: Vec<String> = lhs.iter().map(|a| a.to_string()).collect();
+    format!("{}->{rhs}", lhs.join(","))
+}
+
+/// Renders an [`FdSet`] as a sorted JSON array of canonical FD strings:
+/// byte-identical sets compare equal as strings.
+pub fn render_fds(fds: &FdSet) -> String {
+    let mut rendered: Vec<String> = fds.iter().map(|fd| render_fd(&fd.lhs, fd.rhs)).collect();
+    rendered.sort_unstable();
+    let quoted: Vec<String> = rendered.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+fn render_result(result: &JobResult) -> String {
+    let mut fields: Vec<(&str, JsonValue)> =
+        vec![("job", JsonValue::Num(result.job as f64))];
+    match &result.outcome {
+        JobOutcome::Discovered { version, fds, termination, from_cache } => {
+            fields.push(("version", JsonValue::Num(*version as f64)));
+            fields.push(("termination", JsonValue::Str(termination.as_str().to_owned())));
+            fields.push(("from_cache", JsonValue::Bool(*from_cache)));
+            fields.push(("fd_count", JsonValue::Num(fds.len() as f64)));
+            fields.push(("fds", JsonValue::Raw(render_fds(fds))));
+        }
+        JobOutcome::Validated { version, holds } => {
+            fields.push(("version", JsonValue::Num(*version as f64)));
+            fields.push(("holds", JsonValue::Bool(*holds)));
+        }
+        JobOutcome::Keys { version, keys, fd_count } => {
+            let rendered: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    let attrs: Vec<String> = k.iter().map(|a| a.to_string()).collect();
+                    json_string(&attrs.join(","))
+                })
+                .collect();
+            fields.push(("version", JsonValue::Num(*version as f64)));
+            fields.push(("fd_count", JsonValue::Num(*fd_count as f64)));
+            fields.push(("keys", JsonValue::Raw(format!("[{}]", rendered.join(",")))));
+        }
+        JobOutcome::DeltaApplied { version, rows, rows_inserted, rows_deleted } => {
+            fields.push(("version", JsonValue::Num(*version as f64)));
+            fields.push(("rows", JsonValue::Num(*rows as f64)));
+            fields.push(("rows_inserted", JsonValue::Num(*rows_inserted as f64)));
+            fields.push(("rows_deleted", JsonValue::Num(*rows_deleted as f64)));
+        }
+        JobOutcome::Cancelled { reason } => {
+            fields.push(("cancelled", JsonValue::Bool(true)));
+            fields.push(("reason", JsonValue::Str(reason.as_str().to_owned())));
+        }
+        JobOutcome::Failed { error } => return err_line(error),
+    }
+    if let Some(snapshot) = &result.telemetry {
+        fields.push(("telemetry", JsonValue::Raw(snapshot.to_json())));
+    }
+    ok_object(&fields)
+}
+
+enum JsonValue {
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    /// Pre-rendered JSON (arrays, nested objects) spliced in verbatim.
+    Raw(String),
+}
+
+fn ok_object(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{\"ok\":true");
+    for (key, value) in fields {
+        out.push(',');
+        out.push_str(&json_string(key));
+        out.push(':');
+        match value {
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::Str(s) => out.push_str(&json_string(s)),
+            JsonValue::Raw(r) => out.push_str(r),
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn err_line(error: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", json_string(error))
+}
+
+/// Minimal JSON string escaper (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use fd_relation::Relation;
+
+    fn tiny_server() -> Server {
+        let server = Server::start(ServerConfig::default());
+        let relation = Relation::from_encoded_columns(
+            "tiny",
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![vec![0, 1, 2, 3], vec![0, 0, 1, 1], vec![0, 0, 1, 1]],
+        );
+        server.register_relation("tiny", relation).expect("register");
+        server
+    }
+
+    #[test]
+    fn discover_line_returns_sorted_fds() {
+        let server = tiny_server();
+        let session = server.session();
+        let response = handle_command(&server, &session, &["discover", "tiny"]);
+        assert!(response.starts_with("{\"ok\":true"), "{response}");
+        assert!(response.contains("\"termination\":\"converged\""), "{response}");
+        // b and c determine each other on this table.
+        assert!(response.contains("\"1->2\""), "{response}");
+        assert!(response.contains("\"2->1\""), "{response}");
+    }
+
+    #[test]
+    fn validate_and_keys_lines() {
+        let server = tiny_server();
+        let session = server.session();
+        let holds = handle_command(&server, &session, &["validate", "tiny", "0", "1"]);
+        assert!(holds.contains("\"holds\":true"), "{holds}");
+        let fails = handle_command(&server, &session, &["validate", "tiny", "1", "0"]);
+        assert!(fails.contains("\"holds\":false"), "{fails}");
+        let keys = handle_command(&server, &session, &["keys", "tiny"]);
+        assert!(keys.contains("\"keys\":[\"0\"]"), "{keys}");
+    }
+
+    #[test]
+    fn submit_wait_cancel_roundtrip() {
+        let server = tiny_server();
+        let session = server.session();
+        let submitted = handle_command(&server, &session, &["submit", "keys", "tiny"]);
+        assert!(submitted.contains("\"job\":"), "{submitted}");
+        let job: u64 = submitted
+            .split("\"job\":")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches('}').parse().ok())
+            .expect("job id");
+        let waited = handle_command(&server, &session, &["wait", &job.to_string()]);
+        assert!(waited.contains("\"keys\":"), "{waited}");
+        // Cancelling a finished job reports false.
+        let cancel =
+            handle_command(&server, &session, &["cancel", &job.to_string()]);
+        assert!(cancel.contains("\"cancelled\":false"), "{cancel}");
+    }
+
+    #[test]
+    fn errors_are_json_lines() {
+        let server = tiny_server();
+        let session = server.session();
+        let unknown = handle_command(&server, &session, &["discover", "nope"]);
+        assert!(unknown.starts_with("{\"ok\":false"), "{unknown}");
+        let bad = handle_command(&server, &session, &["frobnicate"]);
+        assert!(bad.contains("unknown command"), "{bad}");
+        let empty_delta = handle_command(&server, &session, &["delta", "tiny"]);
+        assert!(empty_delta.contains("need delete= and/or insert="), "{empty_delta}");
+    }
+
+    #[test]
+    fn serve_lines_speaks_newline_json(){
+        let server = tiny_server();
+        let input = b"keys tiny\nstats\nquit\n";
+        let mut output = Vec::new();
+        serve_lines(&server, &input[..], &mut output).expect("serve");
+        let text = String::from_utf8(output).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"keys\":"), "{text}");
+        assert!(lines[1].contains("\"jobs_completed\":"), "{text}");
+        assert!(lines[2].contains("\"bye\":true"), "{text}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

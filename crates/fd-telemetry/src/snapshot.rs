@@ -128,6 +128,79 @@ impl TelemetrySnapshot {
         }
     }
 
+    /// The difference of this snapshot against an earlier `baseline`:
+    /// counters and histogram totals become `self − baseline` (saturating,
+    /// so a registry reset between the two captures degrades to the later
+    /// absolute values instead of wrapping), and only entries with non-zero
+    /// deltas are kept. Events are not diffed — the shared ring buffer has
+    /// no per-capture identity — so `events` is empty and `events_dropped`
+    /// is the saturating difference.
+    ///
+    /// This is the per-job scoping primitive for a shared registry: capture
+    /// a baseline when the job starts, capture again when it ends, export
+    /// the delta. Under concurrent jobs the delta is **approximate** —
+    /// counters incremented by overlapping jobs land in every overlapping
+    /// window — but single-writer counters (and any serial execution) diff
+    /// exactly.
+    ///
+    /// Histogram deltas keep `max` as the later absolute maximum (a running
+    /// max cannot be subtracted); occupied-bucket counts are diffed
+    /// per-bucket.
+    pub fn delta_since(&self, baseline: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, v)| {
+                let before = baseline.counter(name).unwrap_or(0);
+                let d = v.saturating_sub(before);
+                (d > 0).then(|| (name.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let empty = HistogramSnapshot::default();
+                let before = baseline.histogram(name).unwrap_or(&empty);
+                let count = h.count.saturating_sub(before.count);
+                if count == 0 {
+                    return None;
+                }
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .filter_map(|&(b, c)| {
+                        let prev = before
+                            .buckets
+                            .iter()
+                            .find(|&&(pb, _)| pb == b)
+                            .map_or(0, |&(_, pc)| pc);
+                        let d = c.saturating_sub(prev);
+                        (d > 0).then_some((b, d))
+                    })
+                    .collect();
+                Some((
+                    name.clone(),
+                    HistogramSnapshot {
+                        count,
+                        sum: h.sum.saturating_sub(before.sum),
+                        max: h.max,
+                        buckets,
+                    },
+                ))
+            })
+            .collect();
+        TelemetrySnapshot {
+            version: self.version,
+            compiled: self.compiled,
+            enabled: self.enabled,
+            counters,
+            histograms,
+            events: Vec::new(),
+            events_dropped: self.events_dropped.saturating_sub(baseline.events_dropped),
+        }
+    }
+
     /// The total of a counter by exact name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
@@ -317,6 +390,41 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("fd-telemetry/v1"));
+    }
+
+    #[test]
+    fn delta_since_diffs_counters_and_histograms() {
+        let baseline = TelemetrySnapshot {
+            version: 1,
+            counters: vec![("a".into(), 3), ("gone".into(), 2)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot { count: 2, sum: 10, max: 8, buckets: vec![(4, 2)] },
+            )],
+            events_dropped: 1,
+            ..Default::default()
+        };
+        let later = TelemetrySnapshot {
+            version: 1,
+            counters: vec![("a".into(), 7), ("fresh".into(), 5), ("gone".into(), 2)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot { count: 5, sum: 25, max: 9, buckets: vec![(3, 1), (4, 4)] },
+            )],
+            events_dropped: 1,
+            ..Default::default()
+        };
+        let d = later.delta_since(&baseline);
+        assert_eq!(d.counter("a"), Some(4));
+        assert_eq!(d.counter("fresh"), Some(5));
+        assert_eq!(d.counter("gone"), None, "zero deltas are dropped");
+        let h = d.histogram("h").expect("histogram delta");
+        assert_eq!((h.count, h.sum, h.max), (3, 15, 9));
+        assert_eq!(h.buckets, vec![(3, 1), (4, 2)]);
+        assert_eq!(d.events_dropped, 0);
+        // Self-diff is empty.
+        let zero = later.delta_since(&later);
+        assert!(zero.counters.is_empty() && zero.histograms.is_empty());
     }
 
     #[test]

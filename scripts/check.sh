@@ -12,16 +12,23 @@
 # Pass `--delta-gate` to also run the incremental-maintenance gate: a 1%
 # row delta must re-discover in <= 25% of the cold wall with a
 # byte-identical FD set (bench_smoke --delta-gate).
+#
+# Pass `--server-gate` to also run the serving-layer gate: the concurrent
+# smoke suite (tests/server_smoke.rs) under the telemetry feature, the CLI
+# argument-contract tests, and an end-to-end `fdtool serve` round trip over
+# stdin/stdout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_CHAOS=0
 RUN_DELTA_GATE=0
+RUN_SERVER_GATE=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) RUN_CHAOS=1 ;;
         --delta-gate) RUN_DELTA_GATE=1 ;;
-        *) echo "unknown option: $arg (supported: --chaos, --delta-gate)" >&2; exit 2 ;;
+        --server-gate) RUN_SERVER_GATE=1 ;;
+        *) echo "unknown option: $arg (supported: --chaos, --delta-gate, --server-gate)" >&2; exit 2 ;;
     esac
 done
 
@@ -63,6 +70,22 @@ METRICS_TMP="$(mktemp /tmp/fdtool-metrics.XXXXXX.json)"
 trap 'rm -f "$METRICS_TMP"' EXIT
 ./target/release/fdtool discover data/patient.csv --metrics-out "$METRICS_TMP" > /dev/null
 METRICS_JSON="$METRICS_TMP" cargo test -q --features telemetry --test metrics_schema
+
+# Server gate (opt-in): concurrent Session/Catalog smoke suite with the
+# server telemetry counters armed, the CLI exit-code contract, and a live
+# `fdtool serve` line-protocol round trip (register via --load, discover,
+# delta, stats) driven through a shell pipe like a real client would.
+if [ "$RUN_SERVER_GATE" -eq 1 ]; then
+    cargo test -q --features telemetry --test server_smoke
+    cargo test -q --test cli_args
+    SERVE_OUT="$(printf 'discover patient\nstats\nquit\n' | \
+        ./target/release/fdtool serve --load patient=data/patient.csv 2>/dev/null)"
+    echo "$SERVE_OUT" | head -n1 | grep -q '"ok":true' \
+        || { echo "server gate: discover over stdio failed: $SERVE_OUT" >&2; exit 1; }
+    echo "$SERVE_OUT" | sed -n '2p' | grep -q '"jobs_completed":1' \
+        || { echo "server gate: stats line wrong: $SERVE_OUT" >&2; exit 1; }
+    echo "server gate: line protocol round trip OK"
+fi
 
 # Chaos gate (opt-in): 200 seeded fault schedules across EulerFD + Tane,
 # plus the targeted degradation tests. `faults,telemetry` together so every

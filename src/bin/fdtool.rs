@@ -10,6 +10,8 @@
 //! fdtool compare  <file.csv>            # all algorithms side by side
 //! fdtool generate <dataset> <rows> <out.csv>   # materialize a benchmark dataset
 //! fdtool datasets                       # list generatable datasets
+//! fdtool serve    [--socket PATH] [--load name=file.csv ...] [--workers N]
+//!                 [--budget-ms N] [--sep C] [--no-header]
 //! ```
 //!
 //! This is the "DMS-shaped" entry point: point it at a CSV and get the
@@ -25,6 +27,12 @@
 //! row id), and the timings of the incremental repair and a cold re-run on
 //! the mutated table are printed side by side, with an identity check on
 //! the two FD sets.
+//!
+//! `serve` turns the binary into an always-on discovery server speaking the
+//! [`eulerfd_suite::server::protocol`] line protocol — one request per line,
+//! one JSON object per response line — over stdin/stdout by default or a
+//! Unix socket with `--socket`. `--load name=file.csv` registers datasets at
+//! startup; clients can also `register` at runtime.
 //!
 //! `--metrics-out <path>` writes one versioned `fd-telemetry/v1` JSON
 //! snapshot of every counter, histogram, and cycle-trace event the run
@@ -69,6 +77,7 @@ fn main() {
         Some("profile") => profile_cmd(&args[1..]),
         Some("compare") => compare(&args[1..]),
         Some("generate") => generate(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("datasets") => {
             emit_lines(dataset_names().into_iter().filter_map(dataset_spec).map(|spec| {
                 format!(
@@ -83,7 +92,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad] [--metrics-out PATH] [--metrics-summary] [--delta-csv ROWS.csv] [--delete-rows 3,17,99]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P] [--metrics-out PATH] [--metrics-summary]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets"
+        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad] [--metrics-out PATH] [--metrics-summary] [--delta-csv ROWS.csv] [--delete-rows 3,17,99]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P] [--metrics-out PATH] [--metrics-summary]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets\n  fdtool serve [--socket PATH] [--load name=file.csv ...] [--workers N] [--budget-ms N] [--sep C] [--no-header]"
     );
     exit(2);
 }
@@ -141,6 +150,20 @@ impl FileArgs {
     }
 }
 
+/// Parses a `--sep` value: exactly one byte, or exit 2 with usage. The old
+/// behaviour silently fell back to `,` on an empty or multi-byte value,
+/// which made `--sep ";;"` parse the file with the wrong separator and
+/// report nonsense FDs instead of failing fast.
+fn parse_sep(v: &str) -> u8 {
+    match v.as_bytes() {
+        [b] => *b,
+        _ => {
+            eprintln!("--sep takes exactly one byte, got '{v}'");
+            usage()
+        }
+    }
+}
+
 fn parse_file_args(args: &[String]) -> FileArgs {
     let mut path = None;
     let mut options = CsvOptions::default();
@@ -163,8 +186,7 @@ fn parse_file_args(args: &[String]) -> FileArgs {
                     .collect();
             }
             "--sep" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                options.separator = *v.as_bytes().first().unwrap_or(&b',');
+                options.separator = parse_sep(it.next().unwrap_or_else(|| usage()));
             }
             "--no-header" => options.has_header = false,
             "--algo" => algo = it.next().unwrap_or_else(|| usage()).clone(),
@@ -485,4 +507,74 @@ fn generate(args: &[String]) {
         exit(1);
     }
     eprintln!("wrote {} rows x {} cols to {out}", relation.n_rows(), relation.n_attrs());
+}
+
+/// `fdtool serve`: the always-on discovery server. Speaks the line protocol
+/// over stdin/stdout (the default, so `echo "discover d" | fdtool serve
+/// --load d=t.csv` works from a shell) or a Unix socket with `--socket`.
+fn serve(args: &[String]) {
+    use eulerfd_suite::server::{protocol, Server, ServerConfig};
+    let mut config = ServerConfig::default();
+    let mut socket: Option<String> = None;
+    let mut preload: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--load" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let (name, path) = spec.split_once('=').unwrap_or_else(|| {
+                    eprintln!("--load takes name=file.csv, got '{spec}'");
+                    usage()
+                });
+                preload.push((name.to_owned(), path.to_owned()));
+            }
+            "--workers" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                config.workers = v.parse().unwrap_or_else(|_| usage());
+                if config.workers == 0 {
+                    eprintln!("--workers must be at least 1");
+                    usage()
+                }
+            }
+            "--budget-ms" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let ms: u64 = v.parse().unwrap_or_else(|_| usage());
+                config.job_deadline = Some(Duration::from_millis(ms));
+            }
+            "--sep" => {
+                config.csv.separator = parse_sep(it.next().unwrap_or_else(|| usage()));
+            }
+            "--no-header" => config.csv.has_header = false,
+            _ => usage(),
+        }
+    }
+    let server = Server::start(config);
+    for (name, path) in &preload {
+        match server.register_csv(name, path) {
+            Ok(info) => eprintln!(
+                "loaded {}: {} rows x {} cols, {} FDs",
+                info.name, info.rows, info.cols, info.fd_count
+            ),
+            Err(e) => {
+                eprintln!("cannot load {name} from {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+    let served = match &socket {
+        Some(path) => {
+            eprintln!("serving on unix socket {path}");
+            protocol::serve_unix(&server, path)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            protocol::serve_lines(&server, stdin.lock(), stdout.lock())
+        }
+    };
+    if let Err(e) = served {
+        eprintln!("serve error: {e}");
+        exit(1);
+    }
 }

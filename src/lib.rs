@@ -8,8 +8,11 @@
 //! * [`relation`] (`fd-relation`) — relations, CSV I/O, partitions, generators.
 //! * [`algo`] (`eulerfd`) — the EulerFD double-cycle algorithm itself.
 //! * [`baselines`] (`fd-baselines`) — brute force, Tane, Fdep, HyFD, AID-FD.
+//! * [`server`] (`fd-server`) — catalog, sessions, and the fair-scheduled
+//!   job queue behind `fdtool serve`.
 
 pub use eulerfd as algo;
 pub use fd_baselines as baselines;
 pub use fd_core as core;
 pub use fd_relation as relation;
+pub use fd_server as server;

@@ -1,0 +1,166 @@
+//! CLI contract tests for `fdtool`: malformed arguments exit 2 with usage,
+//! single-sided delta modes work, and `serve` speaks the line protocol over
+//! stdin/stdout.
+//!
+//! These run the real binary (`CARGO_BIN_EXE_fdtool`), so they pin the
+//! observable behaviour scripts depend on — exit codes above all. Exit 2 is
+//! the "you called it wrong" code; exit 1 is reserved for runtime failures
+//! (unreadable file, diverged FD sets), exit 0 for success.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn fdtool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fdtool"))
+}
+
+/// Writes a small CSV and returns its path (unique per test).
+fn fixture(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("fdtool-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+const BASE: &str = "a,b,c\n1,x,p\n2,x,p\n3,y,q\n4,y,q\n";
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = fdtool().args(["discover", "--frobnicate"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let out = fdtool().args(["explode"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn malformed_sep_exits_2() {
+    let csv = fixture("sep.csv", BASE);
+    for bad in ["::", ""] {
+        let out = fdtool()
+            .args(["discover", csv.to_str().expect("utf8"), "--sep", bad])
+            .output()
+            .expect("run");
+        assert_eq!(out.status.code(), Some(2), "--sep '{bad}' must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("exactly one byte"), "{stderr}");
+    }
+}
+
+#[test]
+fn malformed_budget_ms_exits_2() {
+    let csv = fixture("budget.csv", BASE);
+    let out = fdtool()
+        .args(["discover", csv.to_str().expect("utf8"), "--budget-ms", "soon"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn malformed_delete_rows_exits_2() {
+    let csv = fixture("delrows.csv", BASE);
+    let out = fdtool()
+        .args(["discover", csv.to_str().expect("utf8"), "--delete-rows", "1,two"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    let csv = fixture("noval.csv", BASE);
+    let out = fdtool()
+        .args(["discover", csv.to_str().expect("utf8"), "--algo"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn delta_csv_without_delete_rows_is_valid() {
+    // Insert-only incremental mode: no --delete-rows. The run prints the
+    // identity check against a cold re-run and exits 0.
+    let csv = fixture("ins-base.csv", BASE);
+    let delta = fixture("ins-delta.csv", "a,b,c\n5,z,r\n6,z,r\n");
+    let out = fdtool()
+        .args([
+            "discover",
+            csv.to_str().expect("utf8"),
+            "--delta-csv",
+            delta.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("+2 rows, -0 rows"), "{stderr}");
+    assert!(stderr.contains("identical"), "{stderr}");
+}
+
+#[test]
+fn delete_rows_without_delta_csv_is_valid() {
+    // Delete-only incremental mode: no --delta-csv.
+    let csv = fixture("del-base.csv", BASE);
+    let out = fdtool()
+        .args(["discover", csv.to_str().expect("utf8"), "--delete-rows", "0,3"])
+        .output()
+        .expect("run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("+0 rows, -2 rows"), "{stderr}");
+    assert!(stderr.contains("identical"), "{stderr}");
+}
+
+#[test]
+fn out_of_range_delete_row_exits_2() {
+    let csv = fixture("oor-base.csv", BASE);
+    let out = fdtool()
+        .args(["discover", csv.to_str().expect("utf8"), "--delete-rows", "99"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}
+
+#[test]
+fn serve_speaks_json_lines_over_stdio() {
+    let csv = fixture("serve.csv", BASE);
+    let mut child = fdtool()
+        .args(["serve", "--load", &format!("d={}", csv.to_str().expect("utf8"))])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"discover d\nvalidate d 1 2\nkeys d\ndelta d delete=0\nstats\nquit\n")
+        .expect("write requests");
+    let out = child.wait_with_output().expect("wait");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "{stdout}");
+    assert!(lines.iter().all(|l| l.starts_with("{\"ok\":true")), "{stdout}");
+    // b <-> c hold on the fixture; a is the key.
+    assert!(lines[0].contains("\"1->2\""), "{stdout}");
+    assert!(lines[1].contains("\"holds\":true"), "{stdout}");
+    assert!(lines[2].contains("\"keys\":[\"0\"]"), "{stdout}");
+    assert!(lines[3].contains("\"rows_deleted\":1"), "{stdout}");
+    assert!(lines[4].contains("\"jobs_completed\":4"), "{stdout}");
+    assert!(stderr.contains("loaded d: 4 rows x 3 cols"), "{stderr}");
+}
+
+#[test]
+fn serve_rejects_malformed_load_spec() {
+    let out = fdtool().args(["serve", "--load", "nodelimiter"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("name=file.csv"));
+}

@@ -198,6 +198,60 @@ fn delta_counters_join_the_snapshot() {
 }
 
 #[test]
+fn server_counters_join_the_snapshot() {
+    if !fd_telemetry::compiled() {
+        return; // plain build: recording is compiled out, nothing to assert
+    }
+    use eulerfd_suite::relation::synth::dataset_spec;
+    use eulerfd_suite::server::{DiscoverOptions, Request, Server, ServerConfig};
+    let _flag = enable_lock();
+    fd_telemetry::set_enabled(true);
+    let server = Server::start(ServerConfig::default());
+    let relation = dataset_spec("abalone").expect("abalone spec").generate(600);
+    server.register_relation("m", relation).expect("register");
+    let session = server.session();
+    let discover = || Request::Discover { dataset: "m".into(), options: DiscoverOptions::default() };
+    // The single worker is busy computing the slow job (nothing cached yet)
+    // when the cancel lands, so the doomed job is withdrawn while pending
+    // (or trips at its next budget poll).
+    let slow = session.submit(discover());
+    let doomed = session.submit(Request::Discover {
+        dataset: "m".into(),
+        options: DiscoverOptions { th_ncover: Some(0.5), th_pcover: None },
+    });
+    session.cancel(doomed);
+    session.wait(slow);
+    session.wait(doomed);
+    // Two identical discovers: both hit the result cache seeded by `slow`.
+    session.run(discover());
+    session.run(discover());
+    let stats = server.stats();
+    let snap = fd_telemetry::snapshot();
+    fd_telemetry::set_enabled(false);
+    let json = snap.to_json();
+    // Schema pin: the serving-layer counters are wire format now, mirrored
+    // by the always-available `ServerStats` atomics.
+    for key in ["server.jobs_completed", "server.jobs_cancelled", "server.cache_hits"] {
+        assert!(json.contains(&format!("\"{key}\":")), "snapshot must serialize {key}");
+    }
+    assert!(
+        snap.counter("server.jobs_completed").unwrap_or(0) >= 3,
+        "two discovers plus the slow job must count as completed"
+    );
+    assert_eq!(
+        snap.counter("server.jobs_cancelled"),
+        Some(stats.jobs_cancelled),
+        "telemetry disagrees with ServerStats on cancellations"
+    );
+    assert_eq!(
+        snap.counter("server.cache_hits"),
+        Some(stats.cache_hits),
+        "telemetry disagrees with ServerStats on cache hits"
+    );
+    assert!(stats.cache_hits >= 1, "the identical repeat discover must hit the cache");
+}
+
+#[test]
 fn metrics_file_from_env_matches_schema() {
     let Ok(path) = std::env::var("METRICS_JSON") else {
         return; // not running under scripts/check.sh
