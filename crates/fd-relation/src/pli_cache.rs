@@ -344,6 +344,9 @@ impl PliCache {
         }
         self.stats.misses += 1;
         fd_telemetry::counter!("pli_cache.misses", 1);
+        // One span per miss (not per product): the derive phase shows up in
+        // job traces without flooding the bounded trace buffer.
+        let _derive = fd_telemetry::span!("pli_cache.derive");
         // Simulated allocation failure on the derive path: degrade to an
         // uncached derivation (intermediates are computed but not stored)
         // and shed resident load. Canonical partitions make the degraded

@@ -247,6 +247,17 @@ impl Catalog {
         Ok(ds.info())
     }
 
+    /// `(dataset count, total rows)` across the catalog — the metrics
+    /// sampler's catalog gauges. Locks each dataset briefly.
+    pub fn totals(&self) -> (usize, u64) {
+        let handles: Vec<Arc<Mutex<Dataset>>> = {
+            let map = self.datasets.lock().unwrap_or_else(|e| e.into_inner());
+            map.values().cloned().collect()
+        };
+        let rows = handles.iter().map(|h| lock(h).snapshot.n_rows() as u64).sum();
+        (handles.len(), rows)
+    }
+
     /// Summaries of all datasets, in name order.
     pub fn list(&self) -> Vec<DatasetInfo> {
         let handles: Vec<Arc<Mutex<Dataset>>> = {

@@ -190,6 +190,10 @@ pub struct JobResult {
     pub outcome: JobOutcome,
     /// Scoped telemetry (`None` when recording is off).
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Measured execution wall time (dispatch to completion; zero for jobs
+    /// withdrawn before running or lost to a shutdown). The trace tree's
+    /// root span is validated against this.
+    pub wall: std::time::Duration,
 }
 
 pub(crate) enum JobState {
@@ -277,6 +281,21 @@ impl QueueState {
     /// shares are measured against.
     pub(crate) fn outstanding_of(&self, session: SessionId) -> usize {
         self.sessions.get(&session).map_or(1, |s| s.outstanding.max(1))
+    }
+
+    /// Jobs queued but not yet dispatched, across all sessions.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.sessions.values().map(|s| s.pending.len()).sum()
+    }
+
+    /// `(session id, outstanding)` for every session with outstanding work
+    /// (pending + running), in id order.
+    pub(crate) fn outstanding_all(&self) -> Vec<(u64, u64)> {
+        self.sessions
+            .iter()
+            .filter(|(_, s)| s.outstanding > 0)
+            .map(|(&id, s)| (id, s.outstanding as u64))
+            .collect()
     }
 }
 

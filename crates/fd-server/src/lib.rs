@@ -33,9 +33,11 @@
 
 mod catalog;
 mod jobs;
+pub mod metrics;
 pub mod protocol;
 mod server;
 
 pub use catalog::{Catalog, CatalogError, DatasetInfo};
 pub use jobs::{DiscoverOptions, JobId, JobOutcome, JobResult, Request, RowsSpec};
+pub use metrics::{MetricsConfig, MetricsPlane, TraceEntry};
 pub use server::{Server, ServerConfig, ServerStats, Session};

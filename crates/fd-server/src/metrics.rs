@@ -1,0 +1,344 @@
+//! The live metrics plane: the sampler-fed time series, per-job trace
+//! retention, and the Prometheus text exposition.
+//!
+//! A [`MetricsPlane`] exists only when the server was started with
+//! [`crate::ServerConfig::metrics`] set *and* the `telemetry` feature is
+//! compiled in — feature-off builds never construct one, so the whole plane
+//! costs nothing there. The server owns one sampler thread that calls
+//! [`MetricsPlane::publish`] every `interval`, closing a
+//! [`fd_telemetry::Window`] (registry delta + point-in-time gauges) and
+//! waking every `subscribe` stream blocked in [`MetricsPlane::wait_for`].
+//!
+//! Trace retention is two bounded rings: `recent` keeps the last
+//! `trace_ring` traced jobs so `trace <job>` works on anything a client
+//! just ran, and `slow` keeps jobs whose wall time crossed
+//! `slow_job_threshold` (the `fdtool top` slow-job panel). Both evict
+//! oldest-first.
+//!
+//! When `prom_out` is set, every published window atomically rewrites the
+//! exposition file (write to `<path>.tmp`, then rename): the *cumulative*
+//! registry state as monotone Prometheus counters/summaries plus the
+//! window's gauges, so any text-file scraper sees either the old or the
+//! new window, never a torn one.
+
+use crate::jobs::JobId;
+use fd_telemetry::{Aggregate, TimeSeries, TraceTree, Window};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning for the metrics plane. All fields have serviceable defaults;
+/// `ServerConfig::metrics: Some(MetricsConfig::default())` turns the plane
+/// on at a 1 s cadence.
+#[derive(Clone, Debug)]
+pub struct MetricsConfig {
+    /// Sampler cadence: one window per interval.
+    pub interval: Duration,
+    /// Retained windows (ring capacity).
+    pub retention: usize,
+    /// Jobs at or above this wall time enter the slow-job ring.
+    pub slow_job_threshold: Duration,
+    /// Capacity of the recent-trace ring (`trace <job>` lookups).
+    pub trace_ring: usize,
+    /// Capacity of the slow-job ring.
+    pub slow_ring: usize,
+    /// Prometheus exposition file, atomically rewritten per window.
+    pub prom_out: Option<String>,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            interval: Duration::from_secs(1),
+            retention: fd_telemetry::DEFAULT_RETENTION,
+            slow_job_threshold: Duration::from_millis(250),
+            trace_ring: 64,
+            slow_ring: 32,
+            prom_out: None,
+        }
+    }
+}
+
+/// One retained traced job.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// The job the trace belongs to (job id doubles as trace id).
+    pub job: JobId,
+    /// Dataset the job targeted.
+    pub dataset: String,
+    /// The job's measured wall time (dispatch to completion).
+    pub wall: Duration,
+    /// The collected span tree.
+    pub trace: Arc<TraceTree>,
+}
+
+struct Cursor {
+    latest_seq: u64,
+    stopped: bool,
+}
+
+struct TraceRings {
+    recent: VecDeque<TraceEntry>,
+    slow: VecDeque<TraceEntry>,
+}
+
+/// Shared state of the live metrics plane. See the module docs.
+pub struct MetricsPlane {
+    config: MetricsConfig,
+    series: TimeSeries,
+    cursor: Mutex<Cursor>,
+    /// Signalled on every published window and on [`MetricsPlane::stop`].
+    tick: Condvar,
+    traces: Mutex<TraceRings>,
+}
+
+impl MetricsPlane {
+    /// Creates the plane with an empty series and empty trace rings.
+    pub fn new(config: MetricsConfig) -> MetricsPlane {
+        let retention = config.retention;
+        MetricsPlane {
+            config,
+            series: TimeSeries::new(retention),
+            cursor: Mutex::new(Cursor { latest_seq: 0, stopped: false }),
+            tick: Condvar::new(),
+            traces: Mutex::new(TraceRings {
+                recent: VecDeque::new(),
+                slow: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The plane's configuration.
+    pub fn config(&self) -> &MetricsConfig {
+        &self.config
+    }
+
+    fn cursor(&self) -> std::sync::MutexGuard<'_, Cursor> {
+        self.cursor.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn rings(&self) -> std::sync::MutexGuard<'_, TraceRings> {
+        self.traces.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Closes a window (registry delta + `gauges`), wakes subscribers, and
+    /// rewrites the exposition file if configured. Called by the sampler
+    /// thread and — with a deliberately huge interval — directly by tests
+    /// via [`crate::Server::metrics_tick`].
+    pub fn publish(&self, gauges: Vec<(String, f64)>) -> Arc<Window> {
+        let window = self.series.advance(gauges);
+        {
+            let mut cursor = self.cursor();
+            cursor.latest_seq = window.seq;
+        }
+        self.tick.notify_all();
+        if let Some(path) = &self.config.prom_out {
+            let text = self.series.cumulative().to_prometheus(&window.gauges);
+            let tmp = format!("{path}.tmp");
+            // Atomic rewrite: a scraper reads the old or the new file whole.
+            if std::fs::write(&tmp, text).is_ok() {
+                let _ = std::fs::rename(&tmp, path);
+            }
+        }
+        window
+    }
+
+    /// Blocks until a window with `seq >= from` is available and returns
+    /// the oldest such retained window. Returns `None` once the plane is
+    /// stopped (server shutdown) with no matching window closed.
+    pub fn wait_for(&self, from: u64) -> Option<Arc<Window>> {
+        let mut cursor = self.cursor();
+        loop {
+            if cursor.latest_seq >= from {
+                return self.series.window_at(from);
+            }
+            if cursor.stopped {
+                return None;
+            }
+            cursor = self.tick.wait(cursor).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Sequence number of the newest published window (0 before the first).
+    pub fn latest_seq(&self) -> u64 {
+        self.cursor().latest_seq
+    }
+
+    /// The newest published window, if any.
+    pub fn latest(&self) -> Option<Arc<Window>> {
+        self.series.latest()
+    }
+
+    /// All retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Arc<Window>> {
+        self.series.windows()
+    }
+
+    /// The fold of every retained window (the `metrics` verb's payload).
+    pub fn aggregate(&self) -> Aggregate {
+        self.series.aggregate()
+    }
+
+    /// Stops the plane: wakes every subscriber and the sampler thread so
+    /// they observe shutdown.
+    pub fn stop(&self) {
+        self.cursor().stopped = true;
+        self.tick.notify_all();
+    }
+
+    /// True once [`MetricsPlane::stop`] was called.
+    pub fn stopped(&self) -> bool {
+        self.cursor().stopped
+    }
+
+    /// Sleeps one sampler interval. Returns `true` when the plane was
+    /// stopped during the wait (the sampler must exit). Wakes only on
+    /// `stop` — published windows notify the same condvar, so the loop
+    /// re-waits for the remaining time instead of sampling early.
+    pub(crate) fn sleep_interval(&self) -> bool {
+        let deadline = Instant::now() + self.config.interval;
+        let mut cursor = self.cursor();
+        loop {
+            if cursor.stopped {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .tick
+                .wait_timeout(cursor, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            cursor = guard;
+        }
+    }
+
+    /// Retains a completed traced job: always in the recent ring, and in
+    /// the slow ring when its wall time crossed the threshold.
+    pub fn retain_trace(&self, entry: TraceEntry) {
+        let mut rings = self.rings();
+        if entry.wall >= self.config.slow_job_threshold {
+            rings.slow.push_back(entry.clone());
+            while rings.slow.len() > self.config.slow_ring.max(1) {
+                rings.slow.pop_front();
+            }
+        }
+        rings.recent.push_back(entry);
+        while rings.recent.len() > self.config.trace_ring.max(1) {
+            rings.recent.pop_front();
+        }
+    }
+
+    /// The retained trace of `job`, searching the recent ring first and
+    /// falling back to the slow ring (a slow job can outlive its recent
+    /// slot).
+    pub fn trace_of(&self, job: JobId) -> Option<TraceEntry> {
+        let rings = self.rings();
+        rings
+            .recent
+            .iter()
+            .rev()
+            .find(|e| e.job == job)
+            .or_else(|| rings.slow.iter().rev().find(|e| e.job == job))
+            .cloned()
+    }
+
+    /// The slow-job ring, oldest first.
+    pub fn slow_jobs(&self) -> Vec<TraceEntry> {
+        self.rings().slow.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(job: JobId, wall_ms: u64) -> TraceEntry {
+        TraceEntry {
+            job,
+            dataset: "d".into(),
+            wall: Duration::from_millis(wall_ms),
+            trace: Arc::new(TraceTree { trace_id: job, ..Default::default() }),
+        }
+    }
+
+    fn plane(trace_ring: usize, slow_ring: usize) -> MetricsPlane {
+        MetricsPlane::new(MetricsConfig {
+            trace_ring,
+            slow_ring,
+            slow_job_threshold: Duration::from_millis(100),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn trace_rings_bound_and_classify() {
+        let p = plane(2, 2);
+        p.retain_trace(entry(1, 10));
+        p.retain_trace(entry(2, 500));
+        p.retain_trace(entry(3, 10));
+        // Job 1 was evicted from the recent ring (capacity 2)…
+        assert!(p.trace_of(1).is_none());
+        assert!(p.trace_of(3).is_some());
+        // …but job 2 survives via the slow ring even after recent eviction.
+        p.retain_trace(entry(4, 10));
+        assert!(p.trace_of(2).is_some(), "slow ring must outlive recent eviction");
+        let slow: Vec<JobId> = p.slow_jobs().iter().map(|e| e.job).collect();
+        assert_eq!(slow, vec![2]);
+        // Fast jobs never enter the slow ring.
+        assert!(p.slow_jobs().iter().all(|e| e.wall >= Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn publish_wakes_wait_for_and_stop_unblocks() {
+        let p = Arc::new(plane(4, 4));
+        assert_eq!(p.latest_seq(), 0);
+        let waiter = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || p.wait_for(1).map(|w| w.seq))
+        };
+        // Publish window 1: the waiter must receive it.
+        std::thread::sleep(Duration::from_millis(10));
+        let w = p.publish(vec![("g".into(), 1.0)]);
+        assert_eq!(w.seq, 1);
+        assert_eq!(waiter.join().expect("join"), Some(1));
+        // A waiter on a future window unblocks with None at stop.
+        let p2 = Arc::clone(&p);
+        let blocked = std::thread::spawn(move || p2.wait_for(99));
+        std::thread::sleep(Duration::from_millis(10));
+        p.stop();
+        assert!(blocked.join().expect("join").is_none());
+        assert!(p.stopped());
+        // After stop, sleep_interval returns immediately.
+        assert!(p.sleep_interval());
+    }
+
+    #[test]
+    fn wait_for_satisfied_seq_returns_without_blocking() {
+        let p = plane(4, 4);
+        p.publish(vec![]);
+        p.publish(vec![]);
+        assert_eq!(p.wait_for(1).map(|w| w.seq), Some(1));
+        assert_eq!(p.wait_for(2).map(|w| w.seq), Some(2));
+        assert_eq!(p.latest().map(|w| w.seq), Some(2));
+        assert_eq!(p.windows().len(), 2);
+    }
+
+    #[test]
+    fn prom_out_is_rewritten_atomically_per_window() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fd-metrics-test-{}.prom", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let p = MetricsPlane::new(MetricsConfig {
+            prom_out: Some(path_str.clone()),
+            ..Default::default()
+        });
+        p.publish(vec![("queue_depth".into(), 2.0)]);
+        let text = std::fs::read_to_string(&path).expect("exposition file written");
+        assert!(text.contains("# TYPE fd_queue_depth gauge"));
+        assert!(text.contains("fd_queue_depth 2"));
+        assert!(!std::path::Path::new(&format!("{path_str}.tmp")).exists(), "tmp file renamed away");
+        let _ = std::fs::remove_file(&path);
+    }
+}

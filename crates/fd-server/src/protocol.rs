@@ -17,15 +17,30 @@
 //! wait <job>
 //! cancel <job>
 //! stats
+//! metrics                        -> aggregated metrics window
+//! subscribe [n] [from=N]         -> one JSON line per published window
+//! trace <job>                    -> span tree of a completed job
 //! quit
 //! ```
+//!
+//! The three observability verbs need the live metrics plane: a
+//! `telemetry`-feature build started with a metrics interval. Without the
+//! feature they answer a clean `"telemetry disabled"` error; with the
+//! feature but no plane, `"metrics plane not enabled"`. `subscribe` is the
+//! one streaming verb — it blocks the connection pushing each newly
+//! published window (optionally only `n` of them; `from=N` replays retained
+//! windows starting at sequence `N`, `from=0`/`from=1` meaning "oldest
+//! retained") until the count is reached, the client disconnects, or the
+//! server shuts down.
 //!
 //! FDs are rendered as sorted `"0,1->2"` strings (attribute ids, empty LHS
 //! renders as `"->2"`), so two responses are comparable byte-for-byte.
 
 use crate::jobs::{DiscoverOptions, JobOutcome, JobResult, Request, RowsSpec};
+use crate::metrics::TraceEntry;
 use crate::server::{Server, Session};
 use fd_core::{AttrId, AttrSet, FdSet};
+use fd_telemetry::Window;
 use std::io::{BufRead, BufReader, Write};
 
 /// Serves the line protocol over any reader/writer pair until EOF or
@@ -47,6 +62,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
             writeln!(writer, "{}", ok_object(&[("bye", JsonValue::Bool(true))]))?;
             writer.flush()?;
             break;
+        }
+        if tokens[0] == "subscribe" {
+            serve_subscribe(server, &tokens, &mut writer)?;
+            continue;
         }
         let response = handle_command(server, &session, &tokens);
         writeln!(writer, "{response}")?;
@@ -109,6 +128,11 @@ pub fn handle_command(server: &Server, session: &Session, tokens: &[&str]) -> St
         ["stats"] => {
             let stats = server.stats();
             let datasets = server.catalog().list();
+            let outstanding: Vec<(String, String)> = stats
+                .outstanding_jobs
+                .iter()
+                .map(|&(sid, n)| (sid.to_string(), n.to_string()))
+                .collect();
             ok_object(&[
                 ("jobs_completed", JsonValue::Num(stats.jobs_completed as f64)),
                 ("jobs_cancelled", JsonValue::Num(stats.jobs_cancelled as f64)),
@@ -116,7 +140,30 @@ pub fn handle_command(server: &Server, session: &Session, tokens: &[&str]) -> St
                 ("cache_invalidations", JsonValue::Num(stats.cache_invalidations as f64)),
                 ("jobs_panicked", JsonValue::Num(stats.jobs_panicked as f64)),
                 ("datasets", JsonValue::Num(datasets.len() as f64)),
+                ("queue_depth", JsonValue::Num(stats.queue_depth as f64)),
+                ("worker_busy", JsonValue::Num(stats.worker_busy as f64)),
+                ("outstanding_jobs", JsonValue::Raw(render_object(&outstanding))),
             ])
+        }
+        ["metrics"] => match metrics_unavailable(server) {
+            Some(err) => err,
+            None => render_metrics(server),
+        },
+        ["trace", job] => match job.parse::<u64>() {
+            Ok(job) => match metrics_unavailable(server) {
+                Some(err) => err,
+                None => match server.trace_of(job) {
+                    Some(entry) => render_trace(&entry),
+                    None => err_line(&format!("no trace retained for job {job}")),
+                },
+            },
+            Err(_) => err_line("trace: job id must be an integer"),
+        },
+        ["subscribe", ..] => {
+            // serve_lines intercepts subscribe before dispatching here; a
+            // direct handle_command call has no stream to push windows into.
+            metrics_unavailable(server)
+                .unwrap_or_else(|| err_line("subscribe requires a streaming connection"))
         }
         rest => match parse_request(rest) {
             Ok(request) => render_result(&session.run(request)),
@@ -213,8 +260,10 @@ pub fn render_fds(fds: &FdSet) -> String {
 }
 
 fn render_result(result: &JobResult) -> String {
-    let mut fields: Vec<(&str, JsonValue)> =
-        vec![("job", JsonValue::Num(result.job as f64))];
+    let mut fields: Vec<(&str, JsonValue)> = vec![
+        ("job", JsonValue::Num(result.job as f64)),
+        ("wall_ms", JsonValue::Num(result.wall.as_secs_f64() * 1e3)),
+    ];
     match &result.outcome {
         JobOutcome::Discovered { version, fds, termination, from_cache } => {
             fields.push(("version", JsonValue::Num(*version as f64)));
@@ -252,9 +301,240 @@ fn render_result(result: &JobResult) -> String {
         JobOutcome::Failed { error } => return err_line(error),
     }
     if let Some(snapshot) = &result.telemetry {
-        fields.push(("telemetry", JsonValue::Raw(snapshot.to_json())));
+        // The snapshot serializer pretty-prints; the line protocol demands
+        // exactly one line per response, so strip inter-token whitespace.
+        fields.push(("telemetry", JsonValue::Raw(compact_json(&snapshot.to_json()))));
     }
     ok_object(&fields)
+}
+
+/// Compacts pretty-printed JSON to a single line: drops all whitespace
+/// outside string literals (string contents, including escapes, pass
+/// through untouched).
+fn compact_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_str = true;
+                    out.push(c);
+                }
+                c if c.is_whitespace() => {}
+                c => out.push(c),
+            }
+        }
+    }
+    out
+}
+
+/// `Some(error line)` when the observability verbs cannot be served:
+/// feature-off builds compile the plane away entirely; feature-on servers
+/// may still run without one.
+fn metrics_unavailable(server: &Server) -> Option<String> {
+    if !fd_telemetry::compiled() {
+        return Some(err_line("telemetry disabled: rebuild with --features telemetry"));
+    }
+    if server.metrics_plane().is_none() {
+        return Some(err_line("metrics plane not enabled: serve with a metrics interval"));
+    }
+    None
+}
+
+/// The `subscribe [n] [from=N]` streaming loop: one JSON line per window,
+/// pushed as the sampler publishes them. Runs on the connection's thread;
+/// returns to the command loop after `n` windows (or streams until the
+/// plane stops / the client disconnects when no count is given).
+fn serve_subscribe<W: Write>(
+    server: &Server,
+    tokens: &[&str],
+    writer: &mut W,
+) -> std::io::Result<()> {
+    let mut count: Option<u64> = None;
+    let mut from: Option<u64> = None;
+    for token in &tokens[1..] {
+        if let Some(value) = token.strip_prefix("from=") {
+            match value.parse::<u64>() {
+                Ok(v) => from = Some(v),
+                Err(_) => {
+                    writeln!(writer, "{}", err_line("subscribe: from= needs an integer"))?;
+                    return writer.flush();
+                }
+            }
+        } else {
+            match token.parse::<u64>() {
+                Ok(v) => count = Some(v),
+                Err(_) => {
+                    writeln!(
+                        writer,
+                        "{}",
+                        err_line(&format!("subscribe: bad argument '{token}'"))
+                    )?;
+                    return writer.flush();
+                }
+            }
+        }
+    }
+    if let Some(err) = metrics_unavailable(server) {
+        writeln!(writer, "{err}")?;
+        return writer.flush();
+    }
+    let plane = server.metrics_plane().expect("checked above");
+    // Default: live windows only (published after this call); `from=N`
+    // replays retained history first.
+    let mut next = from.map_or_else(|| plane.latest_seq() + 1, |f| f.max(1));
+    let mut sent = 0u64;
+    while count.is_none_or(|c| sent < c) {
+        let Some(window) = plane.wait_for(next) else {
+            // Server shutting down: end the stream cleanly.
+            break;
+        };
+        writeln!(writer, "{}", render_window(&window))?;
+        writer.flush()?;
+        next = window.seq + 1;
+        sent += 1;
+    }
+    Ok(())
+}
+
+/// Formats a number the way [`JsonValue::Num`] does (integers without a
+/// fraction, non-finite never occurs for these sources).
+fn fmt_num(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_owned();
+    }
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Renders `{"key":value}` from pre-rendered value strings.
+fn render_object(fields: &[(String, String)]) -> String {
+    let body: Vec<String> =
+        fields.iter().map(|(k, v)| format!("{}:{v}", json_string(k))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn gauges_object(gauges: &[(String, f64)]) -> String {
+    let fields: Vec<(String, String)> =
+        gauges.iter().map(|(k, v)| (k.clone(), fmt_num(*v))).collect();
+    render_object(&fields)
+}
+
+/// One `subscribe` stream line: the window's identity, its counter deltas,
+/// and per-second rates over the window's own duration.
+fn render_window(window: &Window) -> String {
+    let secs = window.duration.as_secs_f64();
+    let counters: Vec<(String, String)> =
+        window.delta.counters.iter().map(|(k, v)| (k.clone(), fmt_num(*v as f64))).collect();
+    let rates: Vec<(String, String)> = window
+        .delta
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), fmt_num(if secs > 0.0 { *v as f64 / secs } else { 0.0 })))
+        .collect();
+    ok_object(&[
+        ("window", JsonValue::Bool(true)),
+        ("seq", JsonValue::Num(window.seq as f64)),
+        ("unix_ms", JsonValue::Num(window.unix_ms as f64)),
+        ("window_ms", JsonValue::Num(window.duration.as_secs_f64() * 1e3)),
+        ("gauges", JsonValue::Raw(gauges_object(&window.gauges))),
+        ("counters", JsonValue::Raw(render_object(&counters))),
+        ("rates", JsonValue::Raw(render_object(&rates))),
+    ])
+}
+
+/// The `metrics` reply: the fold of every retained window — counter sums
+/// and rates over the covered wall time, histogram quantiles, the newest
+/// gauges, and the slow-job ring.
+fn render_metrics(server: &Server) -> String {
+    let plane = server.metrics_plane().expect("caller checked metrics_unavailable");
+    let agg = plane.aggregate();
+    let counters: Vec<(String, String)> =
+        agg.counters.iter().map(|(k, v)| (k.clone(), fmt_num(*v as f64))).collect();
+    let rates: Vec<(String, String)> =
+        agg.rates().iter().map(|(k, v)| (k.clone(), fmt_num(*v))).collect();
+    let quantiles: Vec<(String, String)> = agg
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                format!(
+                    "{{\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    fmt_num(h.quantile(0.5)),
+                    fmt_num(h.quantile(0.95)),
+                    fmt_num(h.quantile(0.99))
+                ),
+            )
+        })
+        .collect();
+    let slow: Vec<String> = plane
+        .slow_jobs()
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"job\":{},\"dataset\":{},\"wall_ms\":{}}}",
+                e.job,
+                json_string(&e.dataset),
+                fmt_num(e.wall.as_secs_f64() * 1e3)
+            )
+        })
+        .collect();
+    ok_object(&[
+        ("windows", JsonValue::Num(agg.windows as f64)),
+        ("seq_first", JsonValue::Num(agg.seq_first as f64)),
+        ("seq_last", JsonValue::Num(agg.seq_last as f64)),
+        ("span_ms", JsonValue::Num(agg.duration.as_secs_f64() * 1e3)),
+        ("gauges", JsonValue::Raw(gauges_object(&agg.gauges))),
+        ("counters", JsonValue::Raw(render_object(&counters))),
+        ("rates", JsonValue::Raw(render_object(&rates))),
+        ("quantiles", JsonValue::Raw(render_object(&quantiles))),
+        ("slow_jobs", JsonValue::Raw(format!("[{}]", slow.join(",")))),
+    ])
+}
+
+/// The `trace <job>` reply: the retained span tree, spans in entry order
+/// with parent indices (`-1` for roots).
+fn render_trace(entry: &TraceEntry) -> String {
+    let spans: Vec<String> = entry
+        .trace
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!(
+                "{{\"id\":{i},\"parent\":{},\"name\":{},\"start_us\":{},\"wall_us\":{}}}",
+                s.parent.map_or(-1, |p| p as i64),
+                json_string(s.name),
+                s.start_ns / 1_000,
+                s.wall_ns / 1_000
+            )
+        })
+        .collect();
+    let root_wall_ms =
+        entry.trace.root().map_or(0.0, |r| r.wall_ns as f64 / 1e6);
+    ok_object(&[
+        ("job", JsonValue::Num(entry.job as f64)),
+        ("dataset", JsonValue::Str(entry.dataset.clone())),
+        ("wall_ms", JsonValue::Num(entry.wall.as_secs_f64() * 1e3)),
+        ("root_wall_ms", JsonValue::Num(root_wall_ms)),
+        ("dropped", JsonValue::Num(entry.trace.dropped as f64)),
+        ("spans", JsonValue::Raw(format!("[{}]", spans.join(",")))),
+    ])
 }
 
 enum JsonValue {
@@ -400,5 +680,39 @@ mod tests {
     #[test]
     fn json_string_escapes() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn compact_json_preserves_strings() {
+        assert_eq!(
+            compact_json("{\n  \"a b\": 1,\n  \"c\": \"x \\\" y\"\n}"),
+            "{\"a b\":1,\"c\":\"x \\\" y\"}"
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_carrying_replies_stay_single_line() {
+        use crate::metrics::MetricsConfig;
+        // Sole test in this crate flipping the global telemetry flag; a
+        // shared lock becomes necessary the moment a second one appears.
+        let server = Server::start(ServerConfig {
+            metrics: Some(MetricsConfig {
+                interval: std::time::Duration::from_secs(3600),
+                ..Default::default()
+            }),
+            ..ServerConfig::default()
+        });
+        let relation = Relation::from_encoded_columns(
+            "tiny",
+            vec!["a".into(), "b".into()],
+            vec![vec![0, 1, 2], vec![0, 0, 1]],
+        );
+        server.register_relation("tiny", relation).expect("register");
+        let session = server.session();
+        let reply = handle_command(&server, &session, &["discover", "tiny"]);
+        fd_telemetry::set_enabled(false);
+        assert!(reply.contains("\"telemetry\":{"), "armed server attaches the snapshot: {reply}");
+        assert!(!reply.contains('\n'), "line protocol demands one line: {reply}");
     }
 }

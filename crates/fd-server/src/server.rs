@@ -5,6 +5,7 @@ use crate::jobs::{
     DiscoverOptions, JobId, JobOutcome, JobQueue, JobRecord, JobResult, JobState, Request,
     RowsSpec, SessionId, SessionState,
 };
+use crate::metrics::{MetricsConfig, MetricsPlane, TraceEntry};
 use eulerfd::EulerFd;
 use fd_core::{candidate_keys, AttrSet, Budget, CancelToken, FdSet, Termination, Watchdog};
 use fd_relation::CsvOptions;
@@ -14,7 +15,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Extra slack the per-job watchdog grants past the budget deadline: the
 /// budget polls the clock cooperatively, the watchdog only backstops code
@@ -40,6 +41,10 @@ pub struct ServerConfig {
     pub result_cache_capacity: usize,
     /// CSV parse options for [`Server::register_csv`].
     pub csv: CsvOptions,
+    /// Live metrics plane (sampler thread, trace rings, exposition).
+    /// `None` (the default) leaves the plane off; also requires the
+    /// `telemetry` feature to take effect.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Default for ServerConfig {
@@ -52,12 +57,13 @@ impl Default for ServerConfig {
             job_threads: 1,
             result_cache_capacity: 64,
             csv: CsvOptions::default(),
+            metrics: None,
         }
     }
 }
 
 /// Point-in-time server counters (independent of the telemetry feature).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Jobs that ran to a non-cancelled outcome (including failures).
     pub jobs_completed: u64,
@@ -69,6 +75,13 @@ pub struct ServerStats {
     pub cache_invalidations: u64,
     /// Jobs whose panic was isolated.
     pub jobs_panicked: u64,
+    /// Jobs queued but not yet dispatched, across all sessions.
+    pub queue_depth: u64,
+    /// Workers currently executing a job.
+    pub worker_busy: u64,
+    /// `(session id, outstanding jobs)` for every session with outstanding
+    /// work (pending + running), in session-id order.
+    pub outstanding_jobs: Vec<(u64, u64)>,
 }
 
 #[derive(Default)]
@@ -78,6 +91,7 @@ struct StatCells {
     cache_hits: AtomicU64,
     cache_invalidations: AtomicU64,
     jobs_panicked: AtomicU64,
+    worker_busy: AtomicU64,
 }
 
 /// A cached converged discovery, plus the FIFO order for eviction.
@@ -119,6 +133,9 @@ struct Shared {
     cache: Mutex<ResultCache>,
     stats: StatCells,
     config: ServerConfig,
+    /// Present only with `ServerConfig::metrics` set and the `telemetry`
+    /// feature compiled in.
+    metrics: Option<Arc<MetricsPlane>>,
 }
 
 /// A per-client handle. Submitting is non-blocking; [`Session::wait`]
@@ -167,6 +184,7 @@ impl Session {
                         job,
                         outcome: JobOutcome::Failed { error: format!("unknown job {job}") },
                         telemetry: None,
+                        wall: Duration::ZERO,
                     })
                 }
                 Some(record) => {
@@ -178,6 +196,7 @@ impl Session {
                             job,
                             outcome: JobOutcome::Failed { error: "server shut down".into() },
                             telemetry: None,
+                            wall: Duration::ZERO,
                         });
                     }
                 }
@@ -218,12 +237,23 @@ impl Session {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts the worker pool.
+    /// Starts the worker pool (and the metrics sampler thread when
+    /// [`ServerConfig::metrics`] is set and the `telemetry` feature is
+    /// compiled in — starting the plane also arms recording via
+    /// [`fd_telemetry::set_enabled`]).
     pub fn start(config: ServerConfig) -> Server {
         let workers = config.workers.max(1);
+        let metrics = match (&config.metrics, fd_telemetry::compiled()) {
+            (Some(mc), true) => {
+                fd_telemetry::set_enabled(true);
+                Some(Arc::new(MetricsPlane::new(mc.clone())))
+            }
+            _ => None,
+        };
         let shared = Arc::new(Shared {
             catalog: Catalog::new(),
             queue: JobQueue::default(),
@@ -233,6 +263,7 @@ impl Server {
             }),
             stats: StatCells::default(),
             config,
+            metrics,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -243,7 +274,19 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
-        Server { shared, workers: handles }
+        let sampler = shared.metrics.as_ref().map(|plane| {
+            let shared = Arc::clone(&shared);
+            let plane = Arc::clone(plane);
+            std::thread::Builder::new()
+                .name("fd-server-sampler".into())
+                .spawn(move || {
+                    while !plane.sleep_interval() {
+                        plane.publish(gather_gauges(&shared));
+                    }
+                })
+                .expect("spawn sampler")
+        });
+        Server { shared, workers: handles, sampler }
     }
 
     /// A server with default config (single worker, unlimited budgets).
@@ -295,16 +338,48 @@ impl Server {
         &self.shared.catalog
     }
 
-    /// Current counters.
+    /// Current counters plus a point-in-time view of the queue: depth,
+    /// busy workers, and per-session outstanding jobs.
     pub fn stats(&self) -> ServerStats {
         let s = &self.shared.stats;
+        let (queue_depth, outstanding_jobs) = {
+            let state = self.shared.queue.state.lock().unwrap_or_else(|e| e.into_inner());
+            (state.queue_depth() as u64, state.outstanding_all())
+        };
         ServerStats {
             jobs_completed: s.jobs_completed.load(Ordering::Relaxed),
             jobs_cancelled: s.jobs_cancelled.load(Ordering::Relaxed),
             cache_hits: s.cache_hits.load(Ordering::Relaxed),
             cache_invalidations: s.cache_invalidations.load(Ordering::Relaxed),
             jobs_panicked: s.jobs_panicked.load(Ordering::Relaxed),
+            queue_depth,
+            worker_busy: s.worker_busy.load(Ordering::Relaxed),
+            outstanding_jobs,
         }
+    }
+
+    /// The live metrics plane, when the server runs one (requires
+    /// [`ServerConfig::metrics`] and the `telemetry` feature).
+    pub fn metrics_plane(&self) -> Option<&MetricsPlane> {
+        self.shared.metrics.as_deref()
+    }
+
+    /// Publishes one metrics window immediately (registry delta + current
+    /// gauges), bypassing the sampler cadence. Returns `None` when the
+    /// plane is off. Tests drive this with a huge sampler interval to get
+    /// deterministic windows.
+    pub fn metrics_tick(&self) -> Option<Arc<fd_telemetry::Window>> {
+        self.shared.metrics.as_ref().map(|p| p.publish(gather_gauges(&self.shared)))
+    }
+
+    /// The retained trace of a completed job, if the plane kept one.
+    pub fn trace_of(&self, job: JobId) -> Option<TraceEntry> {
+        self.shared.metrics.as_ref().and_then(|p| p.trace_of(job))
+    }
+
+    /// The slow-job ring, oldest first (empty when the plane is off).
+    pub fn slow_jobs(&self) -> Vec<TraceEntry> {
+        self.shared.metrics.as_ref().map(|p| p.slow_jobs()).unwrap_or_default()
     }
 
     /// Entries currently in the result cache.
@@ -330,7 +405,13 @@ impl Server {
             self.shared.queue.work.notify_all();
             self.shared.queue.done.notify_all();
         }
+        if let Some(plane) = &self.shared.metrics {
+            plane.stop();
+        }
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.sampler.take() {
             let _ = handle.join();
         }
     }
@@ -363,7 +444,9 @@ fn worker_loop(shared: &Shared) {
             (job, record.request.clone(), record.token.clone(), parts)
         };
 
+        shared.stats.worker_busy.fetch_add(1, Ordering::Relaxed);
         let result = Arc::new(execute_job(shared, job, &request, &token, parts));
+        shared.stats.worker_busy.fetch_sub(1, Ordering::Relaxed);
 
         // Publish and account under the queue lock.
         let mut state = shared.queue.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -403,7 +486,29 @@ fn job_budget(config: &ServerConfig, parts: usize, token: CancelToken) -> Budget
     budget
 }
 
-/// Runs one job with panic isolation and per-job telemetry scoping.
+/// Point-in-time gauges attached to every published metrics window. Gauge
+/// names are wire format (the exposition prefixes them `fd_`).
+fn gather_gauges(shared: &Shared) -> Vec<(String, f64)> {
+    let (queue_depth, outstanding) = {
+        let state = shared.queue.state.lock().unwrap_or_else(|e| e.into_inner());
+        let outstanding: u64 = state.outstanding_all().iter().map(|&(_, n)| n).sum();
+        (state.queue_depth() as f64, outstanding as f64)
+    };
+    let (datasets, rows) = shared.catalog.totals();
+    let cache_entries =
+        shared.cache.lock().unwrap_or_else(|e| e.into_inner()).entries.len() as f64;
+    vec![
+        ("queue_depth".to_owned(), queue_depth),
+        ("worker_busy".to_owned(), shared.stats.worker_busy.load(Ordering::Relaxed) as f64),
+        ("outstanding_jobs".to_owned(), outstanding),
+        ("catalog.datasets".to_owned(), datasets as f64),
+        ("catalog.rows".to_owned(), rows as f64),
+        ("result_cache.entries".to_owned(), cache_entries),
+    ]
+}
+
+/// Runs one job with panic isolation, per-job telemetry scoping, wall-time
+/// measurement, and (when the metrics plane is live) trace collection.
 fn execute_job(
     shared: &Shared,
     job: JobId,
@@ -413,39 +518,71 @@ fn execute_job(
 ) -> JobResult {
     // A job cancelled while queued is withdrawn without touching anything.
     if let Some(reason) = token.reason() {
-        return JobResult { job, outcome: JobOutcome::Cancelled { reason }, telemetry: None };
+        return JobResult {
+            job,
+            outcome: JobOutcome::Cancelled { reason },
+            telemetry: None,
+            wall: Duration::ZERO,
+        };
     }
     let baseline = fd_telemetry::is_enabled().then(TelemetrySnapshot::capture);
+    // The job id doubles as the trace id; collection is thread-local to
+    // this worker, so spans from kernel fan-out threads stay out of the
+    // tree (they still feed the global histograms).
+    let traced =
+        shared.metrics.is_some() && fd_telemetry::trace_begin(job, fd_telemetry::DEFAULT_TRACE_CAP);
     let budget = job_budget(&shared.config, parts, token.clone());
     // The watchdog backstops code stuck between budget polls; its Drop
-    // disarms it on every exit path, including panic unwinding.
+    // disarms it on every exit path, including panic unwinding. Armed
+    // before `started` so its thread-spawn cost stays out of the wall time
+    // the trace root is compared against.
     let _watchdog = shared
         .config
         .job_deadline
         .map(|d| Watchdog::arm(token.clone(), d + WATCHDOG_GRACE));
-    let outcome = match catch_unwind(AssertUnwindSafe(|| run_request(shared, request, &budget))) {
-        Ok(outcome) => outcome,
-        Err(panic) => {
-            shared.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed);
-            fd_telemetry::counter!("server.jobs_panicked", 1);
-            token.cancel_with(Termination::Panicked);
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic payload".to_owned());
-            JobOutcome::Failed { error: format!("job panicked (isolated): {msg}") }
+    let started = Instant::now();
+    let outcome = {
+        let _root = fd_telemetry::span!("server.job");
+        match catch_unwind(AssertUnwindSafe(|| run_request(shared, request, &budget))) {
+            Ok(outcome) => outcome,
+            Err(panic) => {
+                shared.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                fd_telemetry::counter!("server.jobs_panicked", 1);
+                token.cancel_with(Termination::Panicked);
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_owned());
+                JobOutcome::Failed { error: format!("job panicked (isolated): {msg}") }
+            }
         }
     };
+    let wall = started.elapsed();
+    fd_telemetry::observe!("server.job_wall_us", wall.as_micros() as u64);
+    if traced {
+        if let (Some(plane), Some(tree)) = (shared.metrics.as_ref(), fd_telemetry::trace_end()) {
+            plane.retain_trace(TraceEntry {
+                job,
+                dataset: request.dataset().to_owned(),
+                wall,
+                trace: Arc::new(tree),
+            });
+        }
+    }
     let telemetry =
         baseline.map(|base| TelemetrySnapshot::capture().delta_since(&base));
-    JobResult { job, outcome, telemetry }
+    JobResult { job, outcome, telemetry, wall }
 }
 
 fn run_request(shared: &Shared, request: &Request, budget: &Budget) -> JobOutcome {
     match request {
-        Request::Discover { dataset, options } => run_discover(shared, dataset, *options, budget),
+        Request::Discover { dataset, options } => {
+            let _s = fd_telemetry::span!("server.discover");
+            run_discover(shared, dataset, *options, budget)
+        }
         Request::Validate { dataset, lhs, rhs } => {
+            let _s = fd_telemetry::span!("server.validate");
             let handle = match shared.catalog.handle(dataset) {
                 Ok(h) => h,
                 Err(e) => return JobOutcome::Failed { error: e.to_string() },
@@ -463,6 +600,7 @@ fn run_request(shared: &Shared, request: &Request, budget: &Budget) -> JobOutcom
             JobOutcome::Validated { version, holds }
         }
         Request::Keys { dataset } => {
+            let _s = fd_telemetry::span!("server.keys");
             let handle = match shared.catalog.handle(dataset) {
                 Ok(h) => h,
                 Err(e) => return JobOutcome::Failed { error: e.to_string() },
@@ -476,6 +614,7 @@ fn run_request(shared: &Shared, request: &Request, budget: &Budget) -> JobOutcom
             JobOutcome::Keys { version, keys, fd_count: fds.len() }
         }
         Request::Delta { dataset, inserts, deletes } => {
+            let _s = fd_telemetry::span!("server.delta");
             let handle = match shared.catalog.handle(dataset) {
                 Ok(h) => h,
                 Err(e) => return JobOutcome::Failed { error: e.to_string() },

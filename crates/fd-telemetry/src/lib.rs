@@ -56,17 +56,23 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod registry;
+pub mod series;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use registry::{
     bucket_of, bucket_upper_bound, registry, Counter, CounterSite, Event, Histogram,
     HistogramSite, HIST_BUCKETS, MAX_COUNTERS, MAX_EVENTS, MAX_HISTOGRAMS,
 };
+pub use series::{Aggregate, TimeSeries, Window, DEFAULT_RETENTION};
 pub use snapshot::{
-    EventSnapshot, HistogramSnapshot, TelemetrySnapshot, SCHEMA, SNAPSHOT_VERSION,
+    prom_name, EventSnapshot, HistogramSnapshot, TelemetrySnapshot, SCHEMA, SNAPSHOT_VERSION,
 };
 pub use span::{current_span, span_depth, PhaseSpan, SpanGuard};
+pub use trace::{
+    trace_active, trace_begin, trace_end, SpanRecord, TraceTree, DEFAULT_TRACE_CAP,
+};
 
 /// True when the `telemetry` cargo feature was compiled in (regardless of
 /// the runtime switch).

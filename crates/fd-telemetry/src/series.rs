@@ -1,0 +1,349 @@
+//! Time-series aggregation: a lock-light ring of periodic registry deltas.
+//!
+//! A [`TimeSeries`] owns a baseline [`TelemetrySnapshot`] and, on each
+//! [`TimeSeries::advance`] call, captures the registry, diffs it against the
+//! baseline with [`TelemetrySnapshot::delta_since`], and pushes the result
+//! as a [`Window`] into a bounded `VecDeque` (oldest evicted first). The
+//! caller decides the cadence — the server's sampler thread calls `advance`
+//! every `interval` — and attaches point-in-time gauges (queue depth, busy
+//! workers, …) that a monotone counter can't express.
+//!
+//! All reads hand out `Arc<Window>` clones, so a subscriber streaming
+//! windows never blocks the sampler for longer than a deque clone. The
+//! single mutex is held only for the capture/diff/push and for snapshotting
+//! the deque — "lock-light" rather than lock-free, which is all a ~1 Hz
+//! sampler needs.
+//!
+//! [`TimeSeries::aggregate`] folds every retained window into one
+//! [`Aggregate`]: counter sums (and per-second rates over the covered wall
+//! time), merged histograms (so p50/p95/p99 come from the whole window, via
+//! [`HistogramSnapshot::quantile`]), and the newest gauges.
+
+use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Default number of retained windows (two minutes at the default 1 s
+/// sampler interval).
+pub const DEFAULT_RETENTION: usize = 120;
+
+/// One closed sampling window: the registry delta over `duration`, stamped
+/// with a monotone sequence number and a wall-clock timestamp.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Monotone window number, starting at 1 for the first closed window.
+    pub seq: u64,
+    /// Wall-clock close time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Elapsed time this window covers (close − previous close).
+    pub duration: Duration,
+    /// Registry delta over the window (zero-delta entries dropped).
+    pub delta: TelemetrySnapshot,
+    /// Point-in-time gauges supplied by the sampler at close time.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl Window {
+    /// Per-second rate of a counter over this window (0 when absent or the
+    /// window covered no time).
+    pub fn rate(&self, name: &str) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delta.counter(name).unwrap_or(0) as f64 / secs
+    }
+}
+
+struct SeriesInner {
+    windows: VecDeque<Arc<Window>>,
+    baseline: TelemetrySnapshot,
+    last_close: Instant,
+    next_seq: u64,
+}
+
+/// A bounded ring of registry-delta windows. See the module docs.
+pub struct TimeSeries {
+    inner: Mutex<SeriesInner>,
+    retention: usize,
+}
+
+impl TimeSeries {
+    /// Creates an empty series retaining at most `retention` windows
+    /// (values below 1 are clamped to 1). The current registry state
+    /// becomes the baseline of the first window.
+    pub fn new(retention: usize) -> TimeSeries {
+        TimeSeries {
+            inner: Mutex::new(SeriesInner {
+                windows: VecDeque::new(),
+                baseline: TelemetrySnapshot::capture(),
+                last_close: Instant::now(),
+                next_seq: 1,
+            }),
+            retention: retention.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SeriesInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Closes the current window: captures the registry, diffs against the
+    /// baseline, stamps the result with `gauges`, and returns it. The
+    /// capture becomes the next window's baseline.
+    pub fn advance(&self, gauges: Vec<(String, f64)>) -> Arc<Window> {
+        let now = Instant::now();
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let capture = TelemetrySnapshot::capture();
+        let mut inner = self.lock();
+        let window = Arc::new(Window {
+            seq: inner.next_seq,
+            unix_ms,
+            duration: now.saturating_duration_since(inner.last_close),
+            delta: capture.delta_since(&inner.baseline),
+            gauges,
+        });
+        inner.next_seq += 1;
+        inner.last_close = now;
+        inner.baseline = capture;
+        inner.windows.push_back(Arc::clone(&window));
+        while inner.windows.len() > self.retention {
+            inner.windows.pop_front();
+        }
+        window
+    }
+
+    /// The cumulative registry state as of the last closed window (the
+    /// running baseline). This is what the Prometheus exposition writes:
+    /// proper monotone counters, not per-window deltas.
+    pub fn cumulative(&self) -> TelemetrySnapshot {
+        self.lock().baseline.clone()
+    }
+
+    /// The most recently closed window, if any.
+    pub fn latest(&self) -> Option<Arc<Window>> {
+        self.lock().windows.back().cloned()
+    }
+
+    /// Sequence number of the most recently closed window (0 before the
+    /// first close).
+    pub fn latest_seq(&self) -> u64 {
+        self.lock().next_seq - 1
+    }
+
+    /// All retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Arc<Window>> {
+        self.lock().windows.iter().cloned().collect()
+    }
+
+    /// The oldest retained window with `seq >= from`, if any.
+    pub fn window_at(&self, from: u64) -> Option<Arc<Window>> {
+        self.lock().windows.iter().find(|w| w.seq >= from).cloned()
+    }
+
+    /// Folds every retained window into one [`Aggregate`].
+    pub fn aggregate(&self) -> Aggregate {
+        let windows = self.windows();
+        let mut agg = Aggregate {
+            windows: windows.len(),
+            seq_first: windows.first().map_or(0, |w| w.seq),
+            seq_last: windows.last().map_or(0, |w| w.seq),
+            duration: windows.iter().map(|w| w.duration).sum(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            gauges: windows.last().map_or_else(Vec::new, |w| w.gauges.clone()),
+        };
+        for w in &windows {
+            for (name, v) in &w.delta.counters {
+                match agg.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => agg.counters[i].1 += v,
+                    Err(i) => agg.counters.insert(i, (name.clone(), *v)),
+                }
+            }
+            for (name, h) in &w.delta.histograms {
+                match agg.histograms.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => agg.histograms[i].1.merge(h),
+                    Err(i) => agg.histograms.insert(i, (name.clone(), h.clone())),
+                }
+            }
+        }
+        agg
+    }
+}
+
+/// The fold of a set of consecutive windows: summed counters, merged
+/// histograms, the newest gauges, and the covered wall time for rates.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Number of windows folded in.
+    pub windows: usize,
+    /// Sequence number of the oldest folded window (0 when empty).
+    pub seq_first: u64,
+    /// Sequence number of the newest folded window (0 when empty).
+    pub seq_last: u64,
+    /// Total wall time the folded windows cover.
+    pub duration: Duration,
+    /// Summed counter deltas, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Merged histogram deltas, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Gauges from the newest window.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl Aggregate {
+    /// Summed delta of a counter across the folded windows.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Merged histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Per-second rate of a counter over the covered wall time (0 when the
+    /// aggregate covers no time).
+    pub fn rate(&self, name: &str) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.counter(name).unwrap_or(0) as f64 / secs
+    }
+
+    /// `(name, rate)` for every counter, in name order.
+    pub fn rates(&self) -> Vec<(String, f64)> {
+        let secs = self.duration.as_secs_f64();
+        self.counters
+            .iter()
+            .map(|(n, v)| (n.clone(), if secs > 0.0 { *v as f64 / secs } else { 0.0 }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(seq: u64, ms: u64, counters: Vec<(String, u64)>) -> Arc<Window> {
+        Arc::new(Window {
+            seq,
+            unix_ms: 1_000 + seq,
+            duration: Duration::from_millis(ms),
+            delta: TelemetrySnapshot { version: 1, counters, ..Default::default() },
+            gauges: vec![("g".into(), seq as f64)],
+        })
+    }
+
+    /// Builds a series with pre-baked windows, bypassing registry capture
+    /// (unit tests must not depend on the process-global registry).
+    fn series_with(windows: Vec<Arc<Window>>, retention: usize) -> TimeSeries {
+        let s = TimeSeries::new(retention);
+        {
+            let mut inner = s.lock();
+            inner.next_seq = windows.last().map_or(1, |w| w.seq + 1);
+            inner.windows = windows.into();
+        }
+        s
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let s = TimeSeries::new(2);
+        s.advance(vec![]);
+        s.advance(vec![]);
+        s.advance(vec![]);
+        let w = s.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].seq, w[1].seq), (2, 3), "oldest window evicted, seq still monotone");
+        assert_eq!(s.latest_seq(), 3);
+        assert_eq!(s.latest().map(|w| w.seq), Some(3));
+        assert_eq!(s.window_at(2).map(|w| w.seq), Some(2));
+        assert_eq!(s.window_at(1).map(|w| w.seq), Some(2), "evicted seq resolves to oldest kept");
+        assert!(s.window_at(4).is_none(), "future seq is not yet closed");
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_computes_rates() {
+        let s = series_with(
+            vec![
+                window(1, 500, vec![("jobs".into(), 3)]),
+                window(2, 500, vec![("jobs".into(), 1), ("hits".into(), 2)]),
+            ],
+            10,
+        );
+        let a = s.aggregate();
+        assert_eq!((a.windows, a.seq_first, a.seq_last), (2, 1, 2));
+        assert_eq!(a.counter("jobs"), Some(4));
+        assert_eq!(a.counter("hits"), Some(2));
+        assert!((a.duration.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((a.rate("jobs") - 4.0).abs() < 1e-9);
+        assert!((a.rate("missing") - 0.0).abs() < 1e-9);
+        let rates = a.rates();
+        assert_eq!(rates.len(), 2);
+        assert!(rates.iter().all(|(_, r)| r.is_finite()));
+        // Gauges come from the newest window.
+        assert_eq!(a.gauges, vec![("g".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn aggregate_merges_histograms_for_quantiles() {
+        let h1 = HistogramSnapshot { count: 9, sum: 90, max: 12, buckets: vec![(4, 9)] };
+        let h2 = HistogramSnapshot { count: 1, sum: 600, max: 600, buckets: vec![(10, 1)] };
+        let mk = |seq, h: HistogramSnapshot| {
+            Arc::new(Window {
+                seq,
+                unix_ms: seq,
+                duration: Duration::from_millis(100),
+                delta: TelemetrySnapshot {
+                    version: 1,
+                    histograms: vec![("lat".into(), h)],
+                    ..Default::default()
+                },
+                gauges: vec![],
+            })
+        };
+        let s = series_with(vec![mk(1, h1), mk(2, h2)], 10);
+        let a = s.aggregate();
+        let h = a.histogram("lat").expect("merged histogram");
+        assert_eq!(h.count, 10);
+        assert!(h.quantile(0.5) < 16.0);
+        assert!(h.quantile(0.99) >= 512.0);
+    }
+
+    #[test]
+    fn empty_aggregate_is_all_zero() {
+        let s = TimeSeries::new(4);
+        let a = s.aggregate();
+        assert_eq!((a.windows, a.seq_first, a.seq_last), (0, 0, 0));
+        assert!(a.counters.is_empty() && a.histograms.is_empty() && a.gauges.is_empty());
+        assert_eq!(a.rate("x"), 0.0);
+        assert_eq!(s.latest_seq(), 0);
+        assert!(s.latest().is_none());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn advance_captures_registry_deltas() {
+        let _l = crate::test_lock();
+        crate::set_enabled(true);
+        let s = TimeSeries::new(8);
+        crate::counter!("series-test.ticks", 5);
+        let w1 = s.advance(vec![("depth".into(), 1.0)]);
+        assert_eq!(w1.seq, 1);
+        assert_eq!(w1.delta.counter("series-test.ticks"), Some(5));
+        assert_eq!(w1.gauges, vec![("depth".to_string(), 1.0)]);
+        // No activity: the next delta drops the zero entry.
+        let w2 = s.advance(vec![]);
+        assert_eq!(w2.seq, 2);
+        assert_eq!(w2.delta.counter("series-test.ticks"), None);
+        // Cumulative keeps the absolute total.
+        assert!(s.cumulative().counter("series-test.ticks").unwrap_or(0) >= 5);
+        crate::set_enabled(false);
+    }
+}

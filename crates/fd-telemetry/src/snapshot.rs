@@ -49,12 +49,58 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Mean observed value (0 when empty).
+    /// Mean observed value (0 when empty, never NaN).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `p`-quantile (`p` clamped to `[0, 1]`) from the log2
+    /// buckets: the target rank's bucket is located by cumulative count and
+    /// the value is linearly interpolated across the bucket's `[2^(b-1),
+    /// 2^b)` range at the rank's midpoint. An empty histogram yields 0; the
+    /// estimate is clamped to the observed `max`, so `quantile(1.0)` never
+    /// overshoots reality by a bucket width.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        // 1-based target rank; p=0 maps to the first observation.
+        let target = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(b, c) in &self.buckets {
+            if seen + c >= target {
+                let lower = match b {
+                    0 => 0.0,
+                    b => (1u128 << (b - 1)) as f64,
+                };
+                let upper = bucket_upper_bound(b as usize) as f64;
+                // Midpoint of the rank's slot inside the bucket.
+                let frac = (((target - seen) as f64 - 0.5) / c as f64).clamp(0.0, 1.0);
+                let estimate = lower + frac * (upper - lower);
+                return estimate.min(self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
+    /// Folds another snapshot's observations into this one (bucket-wise
+    /// sum, `max` of maxima). The time-series layer uses this to merge
+    /// per-window deltas into one aggregated window.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for &(b, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&b, |&(sb, _)| sb) {
+                Ok(i) => self.buckets[i].1 += c,
+                Err(i) => self.buckets.insert(i, (b, c)),
+            }
         }
     }
 }
@@ -325,6 +371,44 @@ impl TelemetrySnapshot {
         }
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters as `counter`, histograms as `summary`
+    /// (p50/p95/p99 quantiles plus `_sum`/`_count`), and the caller's
+    /// `gauges` as `gauge`. Metric names are sanitized (`fd_` prefix,
+    /// non-alphanumerics to `_`). Events are not exposed — they have no
+    /// Prometheus shape.
+    pub fn to_prometheus(&self, gauges: &[(String, f64)]) -> String {
+        let mut out = String::with_capacity(4096);
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (label, p) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                out.push_str(&format!("{n}{{quantile=\"{label}\"}} {}\n", json_number(h.quantile(p))));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        for (name, v) in gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", json_number(*v)));
+        }
+        out
+    }
+}
+
+/// Sanitizes a metric name for Prometheus: `fd_` prefix, every character
+/// outside `[A-Za-z0-9]` replaced by `_`.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("fd_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
 }
 
 /// Escapes a string as a JSON string literal (quotes included).
@@ -425,6 +509,101 @@ mod tests {
         // Self-diff is empty.
         let zero = later.delta_since(&later);
         assert!(zero.counters.is_empty() && zero.histograms.is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_mean_and_quantile_are_zero_not_nan() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.mean(), 0.0);
+        assert!(!h.mean().is_nan());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_log2_buckets() {
+        // 10 observations of exactly 100: bucket 7 covers [64, 128).
+        let h = HistogramSnapshot { count: 10, sum: 1000, max: 100, buckets: vec![(7, 10)] };
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let q = h.quantile(p);
+            assert!((64.0..=100.0).contains(&q), "p{p}: {q} outside bucket/max range");
+        }
+        // Median must land at/under the bucket midpoint region, p99 above it.
+        assert!(h.quantile(0.5) < h.quantile(0.99));
+        // Clamped to the observed max, never the bucket upper bound (128).
+        assert_eq!(h.quantile(1.0), 100.0);
+
+        // Two buckets: 9 fast observations (bucket 4: [8,16)) and 1 slow
+        // (bucket 10: [512,1024)). The p50 sits in the fast bucket; the p99
+        // reaches the slow one.
+        let h = HistogramSnapshot {
+            count: 10,
+            sum: 9 * 10 + 600,
+            max: 600,
+            buckets: vec![(4, 9), (10, 1)],
+        };
+        assert!(h.quantile(0.5) < 16.0, "p50 {} must stay in the fast bucket", h.quantile(0.5));
+        assert!(h.quantile(0.99) >= 512.0, "p99 {} must reach the slow bucket", h.quantile(0.99));
+        // Out-of-range and NaN p clamp instead of panicking.
+        assert!(h.quantile(-1.0) <= h.quantile(2.0));
+        assert!(!h.quantile(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn quantile_of_zeros_bucket_is_zero() {
+        let h = HistogramSnapshot { count: 4, sum: 0, max: 0, buckets: vec![(0, 4)] };
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn merge_folds_counts_buckets_and_max() {
+        let mut a = HistogramSnapshot { count: 2, sum: 10, max: 8, buckets: vec![(2, 1), (4, 1)] };
+        let b = HistogramSnapshot { count: 3, sum: 30, max: 16, buckets: vec![(4, 2), (5, 1)] };
+        a.merge(&b);
+        assert_eq!((a.count, a.sum, a.max), (5, 40, 16));
+        assert_eq!(a.buckets, vec![(2, 1), (4, 3), (5, 1)]);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_counters_summaries_and_gauges() {
+        let snap = TelemetrySnapshot {
+            version: 1,
+            counters: vec![("server.jobs_completed".into(), 7)],
+            histograms: vec![(
+                "span.server.job.ns".into(),
+                HistogramSnapshot { count: 2, sum: 300, max: 200, buckets: vec![(8, 2)] },
+            )],
+            ..Default::default()
+        };
+        let gauges = vec![("queue_depth".into(), 3.0)];
+        let text = snap.to_prometheus(&gauges);
+        assert!(text.contains("# TYPE fd_server_jobs_completed counter\n"));
+        assert!(text.contains("fd_server_jobs_completed 7\n"));
+        assert!(text.contains("# TYPE fd_span_server_job_ns summary\n"));
+        for q in ["0.5", "0.95", "0.99"] {
+            assert!(text.contains(&format!("fd_span_server_job_ns{{quantile=\"{q}\"}} ")));
+        }
+        assert!(text.contains("fd_span_server_job_ns_sum 300\n"));
+        assert!(text.contains("fd_span_server_job_ns_count 2\n"));
+        assert!(text.contains("# TYPE fd_queue_depth gauge\nfd_queue_depth 3\n"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.splitn(2, ' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("server.jobs_completed"), "fd_server_jobs_completed");
+        assert_eq!(prom_name("a-b c"), "fd_a_b_c");
     }
 
     #[test]

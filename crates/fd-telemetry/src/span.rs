@@ -38,6 +38,7 @@ pub struct SpanGuard {
     start: Option<Instant>,
     name: &'static str,
     site: &'static HistogramSite,
+    trace_slot: Option<u32>,
 }
 
 impl SpanGuard {
@@ -46,10 +47,11 @@ impl SpanGuard {
     #[inline]
     pub fn enter(name: &'static str, site: &'static HistogramSite) -> SpanGuard {
         if !is_enabled() {
-            return SpanGuard { start: None, name, site };
+            return SpanGuard { start: None, name, site, trace_slot: None };
         }
         SPAN_STACK.with(|s| s.borrow_mut().push(name));
-        SpanGuard { start: Some(Instant::now()), name, site }
+        let trace_slot = crate::trace::trace_enter(name);
+        SpanGuard { start: Some(Instant::now()), name, site, trace_slot }
     }
 
     /// True when this span is live (telemetry was enabled at entry).
@@ -72,6 +74,9 @@ impl Drop for SpanGuard {
             });
             let name = self.name;
             self.site.observe_keyed(|| format!("span.{name}.ns"), nanos);
+            if let Some(slot) = self.trace_slot {
+                crate::trace::trace_exit(slot);
+            }
         }
     }
 }
@@ -89,16 +94,20 @@ pub struct PhaseSpan<'a> {
     acc: &'a mut f64,
     name: &'static str,
     site: &'static HistogramSite,
+    trace_slot: Option<u32>,
 }
 
 impl<'a> PhaseSpan<'a> {
     /// Starts a phase timer accumulating into `acc`.
     #[inline]
     pub fn enter(name: &'static str, site: &'static HistogramSite, acc: &'a mut f64) -> Self {
-        if is_enabled() {
+        let trace_slot = if is_enabled() {
             SPAN_STACK.with(|s| s.borrow_mut().push(name));
-        }
-        PhaseSpan { start: Instant::now(), acc, name, site }
+            crate::trace::trace_enter(name)
+        } else {
+            None
+        };
+        PhaseSpan { start: Instant::now(), acc, name, site, trace_slot }
     }
 }
 
@@ -116,6 +125,9 @@ impl Drop for PhaseSpan<'_> {
             let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
             let name = self.name;
             self.site.observe_keyed(|| format!("span.{name}.ns"), nanos);
+            if let Some(slot) = self.trace_slot {
+                crate::trace::trace_exit(slot);
+            }
         }
     }
 }

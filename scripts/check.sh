@@ -17,18 +17,27 @@
 # smoke suite (tests/server_smoke.rs) under the telemetry feature, the CLI
 # argument-contract tests, and an end-to-end `fdtool serve` round trip over
 # stdin/stdout.
+#
+# Pass `--obs-gate` to also run the live observability gate: the
+# feature-off "telemetry disabled" pins under --no-default-features, and
+# the OBS_GATE live-server round trip (tests/observability.rs spawns a real
+# `fdtool serve` on a Unix socket with a 100 ms sampler and checks metrics
+# rates, subscribe window sums vs stats, trace root fidelity, the
+# Prometheus file, and `fdtool top`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_CHAOS=0
 RUN_DELTA_GATE=0
 RUN_SERVER_GATE=0
+RUN_OBS_GATE=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) RUN_CHAOS=1 ;;
         --delta-gate) RUN_DELTA_GATE=1 ;;
         --server-gate) RUN_SERVER_GATE=1 ;;
-        *) echo "unknown option: $arg (supported: --chaos, --delta-gate, --server-gate)" >&2; exit 2 ;;
+        --obs-gate) RUN_OBS_GATE=1 ;;
+        *) echo "unknown option: $arg (supported: --chaos, --delta-gate, --server-gate, --obs-gate)" >&2; exit 2 ;;
     esac
 done
 
@@ -85,6 +94,16 @@ if [ "$RUN_SERVER_GATE" -eq 1 ]; then
     echo "$SERVE_OUT" | sed -n '2p' | grep -q '"jobs_completed":1' \
         || { echo "server gate: stats line wrong: $SERVE_OUT" >&2; exit 1; }
     echo "server gate: line protocol round trip OK"
+fi
+
+# Observability gate (opt-in): feature-off builds must compile the metrics
+# plane away and answer clean "telemetry disabled" errors; then the live
+# round trip — a real `fdtool serve` child with a 100 ms sampler, driven
+# over its Unix socket — checks the acceptance criteria end to end.
+if [ "$RUN_OBS_GATE" -eq 1 ]; then
+    cargo test -q --no-default-features --test observability
+    OBS_GATE=1 cargo test -q --features telemetry --test observability
+    echo "observability gate: live metrics/subscribe/trace round trip OK"
 fi
 
 # Chaos gate (opt-in): 200 seeded fault schedules across EulerFD + Tane,

@@ -12,6 +12,8 @@
 //! fdtool datasets                       # list generatable datasets
 //! fdtool serve    [--socket PATH] [--load name=file.csv ...] [--workers N]
 //!                 [--budget-ms N] [--sep C] [--no-header]
+//!                 [--metrics-interval-ms N] [--prom-out PATH] [--slow-ms N]
+//! fdtool top      <socket> [--interval-ms N] [--iterations N]
 //! ```
 //!
 //! This is the "DMS-shaped" entry point: point it at a CSV and get the
@@ -78,6 +80,7 @@ fn main() {
         Some("compare") => compare(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("top") => top(&args[1..]),
         Some("datasets") => {
             emit_lines(dataset_names().into_iter().filter_map(dataset_spec).map(|spec| {
                 format!(
@@ -92,7 +95,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad] [--metrics-out PATH] [--metrics-summary] [--delta-csv ROWS.csv] [--delete-rows 3,17,99]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P] [--metrics-out PATH] [--metrics-summary]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets\n  fdtool serve [--socket PATH] [--load name=file.csv ...] [--workers N] [--budget-ms N] [--sep C] [--no-header]"
+        "usage:\n  fdtool discover <file.csv> [--algo euler|aid|hyfd|tane|fdep|fastfds] [--sep C] [--no-header] [--budget-ms N] [--on-ragged error|skip|pad] [--metrics-out PATH] [--metrics-summary] [--delta-csv ROWS.csv] [--delete-rows 3,17,99]\n  fdtool keys <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P]\n  fdtool profile <file.csv> [--sep C] [--no-header] [--on-ragged P]\n  fdtool compare <file.csv> [--sep C] [--no-header] [--budget-ms N] [--on-ragged P] [--metrics-out PATH] [--metrics-summary]\n  fdtool generate <dataset> <rows> <out.csv>\n  fdtool datasets\n  fdtool serve [--socket PATH] [--load name=file.csv ...] [--workers N] [--budget-ms N] [--sep C] [--no-header] [--metrics-interval-ms N] [--prom-out PATH] [--slow-ms N]\n  fdtool top <socket> [--interval-ms N] [--iterations N]"
     );
     exit(2);
 }
@@ -513,14 +516,28 @@ fn generate(args: &[String]) {
 /// over stdin/stdout (the default, so `echo "discover d" | fdtool serve
 /// --load d=t.csv` works from a shell) or a Unix socket with `--socket`.
 fn serve(args: &[String]) {
-    use eulerfd_suite::server::{protocol, Server, ServerConfig};
+    use eulerfd_suite::server::{protocol, MetricsConfig, Server, ServerConfig};
     let mut config = ServerConfig::default();
     let mut socket: Option<String> = None;
     let mut preload: Vec<(String, String)> = Vec::new();
+    // Metrics default ON at a 1 s sampling window when the build carries the
+    // telemetry feature; `--metrics-interval-ms 0` switches the plane off.
+    let mut metrics_interval_ms: u64 = 1000;
+    let mut prom_out: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--socket" => socket = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--metrics-interval-ms" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                metrics_interval_ms = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--prom-out" => prom_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--slow-ms" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                slow_ms = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--load" => {
                 let spec = it.next().unwrap_or_else(|| usage());
                 let (name, path) = spec.split_once('=').unwrap_or_else(|| {
@@ -548,6 +565,26 @@ fn serve(args: &[String]) {
             "--no-header" => config.csv.has_header = false,
             _ => usage(),
         }
+    }
+    if metrics_interval_ms > 0 && fd_telemetry::compiled() {
+        let mut mc = MetricsConfig {
+            interval: Duration::from_millis(metrics_interval_ms),
+            prom_out: prom_out.clone(),
+            ..MetricsConfig::default()
+        };
+        if let Some(ms) = slow_ms {
+            mc.slow_job_threshold = Duration::from_millis(ms);
+        }
+        config.metrics = Some(mc);
+    } else if prom_out.is_some() || slow_ms.is_some() {
+        eprintln!(
+            "note: metrics plane is off ({}); --prom-out/--slow-ms have no effect",
+            if fd_telemetry::compiled() {
+                "--metrics-interval-ms 0"
+            } else {
+                "build without the `telemetry` feature"
+            }
+        );
     }
     let server = Server::start(config);
     for (name, path) in &preload {
@@ -577,4 +614,167 @@ fn serve(args: &[String]) {
         eprintln!("serve error: {e}");
         exit(1);
     }
+}
+
+/// `fdtool top`: a live terminal view of a running server's metrics plane.
+/// Connects to the server's Unix socket, issues `metrics` once per interval,
+/// and renders the aggregate reply — gauges, the hottest counter rates, and
+/// the slow-job ring — as a compact dashboard.
+fn top(args: &[String]) {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+    let mut socket: Option<String> = None;
+    let mut interval_ms: u64 = 2000;
+    let mut iterations: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval-ms" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                interval_ms = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--iterations" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                iterations = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            other if socket.is_none() && !other.starts_with("--") => {
+                socket = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    let path = socket.unwrap_or_else(|| usage());
+    let stream = UnixStream::connect(&path).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {path}: {e}");
+        exit(1);
+    });
+    let mut reader = BufReader::new(stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("cannot clone socket: {e}");
+        exit(1);
+    }));
+    let mut writer = stream;
+    let mut shown = 0u64;
+    loop {
+        if writer.write_all(b"metrics\n").and_then(|()| writer.flush()).is_err() {
+            eprintln!("server closed the connection");
+            exit(1);
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                eprintln!("server closed the connection");
+                exit(1);
+            }
+            Ok(_) => render_top(&path, line.trim()),
+        }
+        shown += 1;
+        if iterations.is_some_and(|n| shown >= n) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+/// Renders one `metrics` reply as a dashboard frame. The scanning is naive
+/// string slicing, not a JSON parser: the suite's replies are single-line,
+/// with unescaped keys and flat number-valued `gauges`/`rates` objects,
+/// which is all this needs.
+fn render_top(path: &str, line: &str) {
+    if !line.contains("\"ok\":true") {
+        eprintln!("server error: {line}");
+        exit(1);
+    }
+    let windows = scan_number(line, "windows").unwrap_or(0.0);
+    let span_ms = scan_number(line, "span_ms").unwrap_or(0.0);
+    println!(
+        "fd-server top — {path} | {windows:.0} window(s), {:.1}s span",
+        span_ms / 1000.0
+    );
+    if let Some(body) = scan_object(line, "gauges") {
+        println!("  gauges:");
+        for (k, v) in flat_pairs(body) {
+            println!("    {k:<28} {v}");
+        }
+    }
+    if let Some(body) = scan_object(line, "rates") {
+        let mut pairs: Vec<(String, f64)> = flat_pairs(body)
+            .into_iter()
+            .filter_map(|(k, v)| v.parse::<f64>().ok().map(|n| (k, n)))
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        println!("  rates (/s):");
+        for (k, v) in pairs.into_iter().take(12) {
+            println!("    {k:<28} {v:.1}");
+        }
+    }
+    if let Some(body) = scan_array(line, "slow_jobs") {
+        if !body.is_empty() {
+            println!("  slow jobs:");
+            for entry in body.split("},{") {
+                let job = scan_number(entry, "job").unwrap_or(0.0);
+                let wall = scan_number(entry, "wall_ms").unwrap_or(0.0);
+                let dataset = scan_string(entry, "dataset").unwrap_or("?");
+                println!("    job {job:.0} on {dataset}: {wall:.1} ms");
+            }
+        }
+    }
+    println!();
+}
+
+/// Extracts the body of `"key":{...}` from a single-line reply by brace
+/// counting (handles nested objects).
+fn scan_object<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":{{");
+    let start = line.find(&pat)? + pat.len();
+    let mut depth = 1usize;
+    for (i, c) in line[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&line[start..start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the body of `"key":[...]` (no nested arrays in our replies).
+fn scan_array<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find(']')?;
+    Some(&line[start..start + end])
+}
+
+/// Reads the number following `"key":`.
+fn scan_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Reads the string following `"key":"` up to the closing quote.
+fn scan_string<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Splits a flat `"k":v` object body (number values only) into pairs.
+fn flat_pairs(body: &str) -> Vec<(String, String)> {
+    body.split(',')
+        .filter_map(|item| {
+            let (k, v) = item.split_once(':')?;
+            Some((k.trim_matches('"').to_string(), v.to_string()))
+        })
+        .collect()
 }

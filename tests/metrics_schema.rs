@@ -252,6 +252,115 @@ fn server_counters_join_the_snapshot() {
 }
 
 #[test]
+fn prometheus_exposition_pins_wire_format() {
+    if !fd_telemetry::compiled() {
+        return; // plain build: recording is compiled out, nothing to assert
+    }
+    let _flag = enable_lock();
+    fd_telemetry::set_enabled(true);
+    fd_telemetry::counter!("schema.prom_probe", 3);
+    fd_telemetry::observe!("schema.prom_lat_us", 900);
+    let snap = fd_telemetry::snapshot();
+    fd_telemetry::set_enabled(false);
+    let text = snap.to_prometheus(&[("queue_depth".to_string(), 2.0)]);
+    // Counters: `fd_` prefix, dots sanitized to underscores, TYPE line.
+    assert!(text.contains("# TYPE fd_schema_prom_probe counter\n"), "{text}");
+    assert!(text.contains("fd_schema_prom_probe 3\n"), "{text}");
+    // Histograms: summary type with the three pinned quantile labels plus
+    // _sum/_count.
+    assert!(text.contains("# TYPE fd_schema_prom_lat_us summary\n"), "{text}");
+    for q in ["0.5", "0.95", "0.99"] {
+        assert!(
+            text.contains(&format!("fd_schema_prom_lat_us{{quantile=\"{q}\"}} ")),
+            "{text}"
+        );
+    }
+    assert!(text.contains("fd_schema_prom_lat_us_sum 900\n"), "{text}");
+    assert!(text.contains("fd_schema_prom_lat_us_count 1\n"), "{text}");
+    // Gauges ride along from the sampler.
+    assert!(text.contains("# TYPE fd_queue_depth gauge\nfd_queue_depth 2\n"), "{text}");
+    // Exposition format: every line is `# ...`, `name value`, or
+    // `name{labels} value` — no JSON punctuation leaks in.
+    for line in text.lines() {
+        assert!(
+            line.starts_with('#')
+                || line.split_whitespace().count() == 2
+                || line.contains("{quantile="),
+            "malformed exposition line: {line}"
+        );
+    }
+}
+
+#[test]
+fn metrics_and_trace_replies_pin_schema() {
+    if !fd_telemetry::compiled() {
+        return; // plain build: the verbs answer "telemetry disabled"
+    }
+    use eulerfd_suite::relation::synth::dataset_spec;
+    use eulerfd_suite::server::{
+        protocol, DiscoverOptions, MetricsConfig, Request, Server, ServerConfig,
+    };
+    let _flag = enable_lock();
+    let server = Server::start(ServerConfig {
+        metrics: Some(MetricsConfig {
+            // Manual ticks only: the sampler thread must not race the pins.
+            interval: std::time::Duration::from_secs(3600),
+            slow_job_threshold: std::time::Duration::ZERO,
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    let relation = dataset_spec("abalone").expect("abalone spec").generate(400);
+    server.register_relation("m", relation).expect("register");
+    let session = server.session();
+    let result = session.run(Request::Discover {
+        dataset: "m".into(),
+        options: DiscoverOptions::default(),
+    });
+    server.metrics_tick().expect("plane exists");
+    fd_telemetry::set_enabled(false);
+
+    // The `metrics` reply: aggregate identity, gauge/counter/rate objects,
+    // per-histogram quantiles, and the slow-job ring. These keys are wire
+    // format now — `fdtool top` and the obs gate scan for them by name.
+    let metrics = protocol::handle_command(&server, &session, &["metrics"]);
+    assert!(metrics.starts_with("{\"ok\":true"), "{metrics}");
+    for key in [
+        "windows",
+        "seq_first",
+        "seq_last",
+        "span_ms",
+        "gauges",
+        "counters",
+        "rates",
+        "quantiles",
+        "slow_jobs",
+    ] {
+        assert!(metrics.contains(&format!("\"{key}\":")), "metrics reply needs {key}: {metrics}");
+    }
+    assert!(metrics.contains("\"server.jobs_completed\":"), "{metrics}");
+    assert!(metrics.contains("\"queue_depth\":"), "{metrics}");
+    for q in ["p50", "p95", "p99"] {
+        assert!(metrics.contains(&format!("\"{q}\":")), "quantiles need {q}: {metrics}");
+    }
+    assert!(!metrics.contains('\n'), "one line per reply: {metrics}");
+
+    // The `trace <job>` reply: identity, root wall, and the span records
+    // with parent edges.
+    let trace =
+        protocol::handle_command(&server, &session, &["trace", &result.job.to_string()]);
+    assert!(trace.starts_with("{\"ok\":true"), "{trace}");
+    for key in
+        ["job", "dataset", "wall_ms", "root_wall_ms", "dropped", "spans", "parent", "name", "start_us", "wall_us"]
+    {
+        assert!(trace.contains(&format!("\"{key}\":")), "trace reply needs {key}: {trace}");
+    }
+    assert!(trace.contains("\"name\":\"server.job\""), "{trace}");
+    assert!(trace.contains("\"parent\":-1"), "the root span renders parent -1: {trace}");
+    assert!(!trace.contains('\n'), "one line per reply: {trace}");
+}
+
+#[test]
 fn metrics_file_from_env_matches_schema() {
     let Ok(path) = std::env::var("METRICS_JSON") else {
         return; // not running under scripts/check.sh

@@ -1,0 +1,437 @@
+//! Live observability plane: the `metrics` / `subscribe` / `trace` verbs,
+//! in-process window streaming, trace fidelity, and the opt-in `OBS_GATE`
+//! live-server round trip.
+//!
+//! Three layers, mirroring tests/metrics_schema.rs:
+//!
+//! * Feature-off behaviour runs under plain `cargo test` (and explicitly
+//!   under `--no-default-features` from `scripts/check.sh --obs-gate`): the
+//!   observability verbs must answer a clean `"telemetry disabled"` error,
+//!   never a panic or a hang.
+//! * In-process checks (telemetry builds) drive a real [`Server`] with a
+//!   deliberately huge sampler interval and close windows manually via
+//!   [`Server::metrics_tick`], so window contents are deterministic.
+//! * The `OBS_GATE=1` test spawns a real `fdtool serve` child on a Unix
+//!   socket with a 100 ms sampler and checks the acceptance criteria end to
+//!   end: non-zero rates, streamed windows whose deltas sum to the `stats`
+//!   totals, a trace root within 5% of the job's reported wall time, the
+//!   atomically rewritten Prometheus file, and `fdtool top`.
+
+use eulerfd_suite::relation::synth::dataset_spec;
+use eulerfd_suite::server::{
+    protocol, DiscoverOptions, MetricsConfig, Request, Server, ServerConfig,
+};
+use std::time::Duration;
+
+/// Serializes the tests that flip the global `fd_telemetry` enable flag
+/// (starting a metrics-enabled server arms it) so one test can't disable
+/// recording while another is mid-measurement.
+fn enable_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A server whose sampler thread never fires on its own (1 h interval):
+/// every window in these tests is closed explicitly by `metrics_tick`, so
+/// window contents are deterministic.
+fn manual_tick_server() -> Server {
+    Server::start(ServerConfig {
+        metrics: Some(MetricsConfig {
+            interval: Duration::from_secs(3600),
+            slow_job_threshold: Duration::ZERO,
+            ..Default::default()
+        }),
+        ..Default::default()
+    })
+}
+
+fn discover_req() -> Request {
+    Request::Discover { dataset: "m".into(), options: DiscoverOptions::default() }
+}
+
+/// Extracts the integer value following `"key":` (first occurrence; in the
+/// window/metrics replies the `counters` object precedes `rates`, so a
+/// counter name resolves to its delta, not its rate).
+fn scan_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let Some(start) = line.find(&pat).map(|i| i + pat.len()) else {
+        return 0;
+    };
+    let rest = &line[start..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or(0)
+}
+
+#[test]
+fn observability_verbs_error_cleanly_without_telemetry() {
+    if fd_telemetry::compiled() {
+        return; // this pin is for feature-off builds
+    }
+    // Even when the config asks for metrics, a feature-off build must not
+    // construct a plane — the verbs answer the clean disabled error.
+    let server = Server::start(ServerConfig {
+        metrics: Some(MetricsConfig::default()),
+        ..Default::default()
+    });
+    let session = server.session();
+    for cmd in [&["metrics"][..], &["trace", "1"][..], &["subscribe"][..]] {
+        let reply = protocol::handle_command(&server, &session, cmd);
+        assert!(reply.starts_with("{\"ok\":false"), "{reply}");
+        assert!(reply.contains("telemetry disabled"), "{reply}");
+    }
+    assert!(server.metrics_plane().is_none(), "feature-off build built a metrics plane");
+    assert!(server.metrics_tick().is_none());
+    // The streaming path answers the same error and returns to the command
+    // loop instead of blocking.
+    let mut out = Vec::new();
+    protocol::serve_lines(&server, &b"subscribe 2\nstats\nquit\n"[..], &mut out)
+        .expect("serve");
+    let text = String::from_utf8(out).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    assert!(lines[0].contains("telemetry disabled"), "{text}");
+    assert!(lines[1].contains("\"jobs_completed\":"), "{text}");
+}
+
+#[test]
+fn metrics_verbs_need_a_plane_even_when_compiled() {
+    if !fd_telemetry::compiled() {
+        return;
+    }
+    // Telemetry compiled but the server was started without a metrics
+    // config: the verbs say so instead of pretending an empty series.
+    let server = Server::start(ServerConfig::default());
+    let session = server.session();
+    let reply = protocol::handle_command(&server, &session, &["metrics"]);
+    assert!(reply.contains("metrics plane not enabled"), "{reply}");
+    let reply = protocol::handle_command(&server, &session, &["trace", "7"]);
+    assert!(reply.contains("metrics plane not enabled"), "{reply}");
+}
+
+#[test]
+fn stats_reply_reports_queue_gauges() {
+    let server = Server::start(ServerConfig::default());
+    let session = server.session();
+    let reply = protocol::handle_command(&server, &session, &["stats"]);
+    for key in ["queue_depth", "worker_busy", "outstanding_jobs"] {
+        assert!(reply.contains(&format!("\"{key}\":")), "stats must carry {key}: {reply}");
+    }
+    assert!(reply.contains("\"outstanding_jobs\":{"), "outstanding_jobs is an object: {reply}");
+}
+
+#[test]
+fn subscribe_replays_windows_whose_deltas_sum_to_stats() {
+    if !fd_telemetry::compiled() {
+        return;
+    }
+    let _flag = enable_lock();
+    let server = manual_tick_server();
+    let relation = dataset_spec("abalone").expect("abalone spec").generate(400);
+    server.register_relation("m", relation).expect("register");
+    let session = server.session();
+    // Window 1: one cold discover. Window 2: a keys job plus a cache-hit
+    // discover. The series baseline was captured at Server::start, so with
+    // the enable lock held these windows contain exactly this activity.
+    session.run(discover_req());
+    let w1 = server.metrics_tick().expect("plane exists");
+    session.run(Request::Keys { dataset: "m".into() });
+    session.run(discover_req());
+    let w2 = server.metrics_tick().expect("plane exists");
+    assert_eq!((w1.seq, w2.seq), (1, 2));
+    assert_eq!(w1.delta.counter("server.jobs_completed"), Some(1));
+    assert_eq!(w2.delta.counter("server.jobs_completed"), Some(2));
+    assert!(w2.delta.counter("server.cache_hits").unwrap_or(0) >= 1);
+
+    let mut out = Vec::new();
+    protocol::serve_lines(&server, &b"subscribe 2 from=1\nstats\nquit\n"[..], &mut out)
+        .expect("serve");
+    fd_telemetry::set_enabled(false);
+    let text = String::from_utf8(out).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "{text}");
+    for (i, line) in lines[..2].iter().enumerate() {
+        assert!(line.contains("\"window\":true"), "{text}");
+        assert_eq!(scan_u64(line, "seq"), i as u64 + 1, "{text}");
+        assert!(line.contains("\"window_ms\":"), "{text}");
+        assert!(line.contains("\"gauges\":{"), "{text}");
+    }
+    // Acceptance: streamed counter deltas sum to the stats totals.
+    let streamed: u64 =
+        lines[..2].iter().map(|l| scan_u64(l, "server.jobs_completed")).sum();
+    let stats_total = scan_u64(lines[2], "jobs_completed");
+    assert_eq!(streamed, 3, "{text}");
+    assert_eq!(streamed, stats_total, "window deltas must sum to stats: {text}");
+    assert_eq!(stats_total, server.stats().jobs_completed);
+}
+
+#[test]
+fn live_subscribe_blocks_until_the_window_is_published() {
+    if !fd_telemetry::compiled() {
+        return;
+    }
+    let _flag = enable_lock();
+    let server = manual_tick_server();
+    server.metrics_tick().expect("plane exists"); // seq 1, already closed
+    std::thread::scope(|scope| {
+        let streamer = scope.spawn(|| {
+            let mut out = Vec::new();
+            // from=2 targets a window that does not exist yet: the stream
+            // must block in wait_for until the tick below publishes it.
+            protocol::serve_lines(&server, &b"subscribe 1 from=2\nquit\n"[..], &mut out)
+                .expect("serve");
+            out
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        server.metrics_tick().expect("plane exists"); // seq 2 wakes the stream
+        let text = String::from_utf8(streamer.join().expect("join")).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"window\":true"), "{text}");
+        assert_eq!(scan_u64(lines[0], "seq"), 2, "{text}");
+    });
+    fd_telemetry::set_enabled(false);
+}
+
+#[test]
+fn trace_root_wall_matches_the_job_wall() {
+    if !fd_telemetry::compiled() {
+        return;
+    }
+    let _flag = enable_lock();
+    let server = manual_tick_server();
+    let relation = dataset_spec("abalone").expect("abalone spec").generate(600);
+    server.register_relation("m", relation).expect("register");
+    let session = server.session();
+    let result = session.run(discover_req());
+    fd_telemetry::set_enabled(false);
+    assert!(result.wall > Duration::ZERO, "a completed job reports its wall time");
+
+    let entry = server.trace_of(result.job).expect("trace retained for the job");
+    assert_eq!(entry.job, result.job);
+    assert_eq!(entry.wall, result.wall);
+    let root = entry.trace.root().expect("trace has a root span");
+    assert_eq!(root.name, "server.job");
+    // Acceptance: the trace root covers the job — within 5% of the reported
+    // wall (plus a 200 us floor so sub-millisecond jobs don't flake on
+    // scheduler noise).
+    let wall_ms = result.wall.as_secs_f64() * 1e3;
+    let root_ms = root.wall_ns as f64 / 1e6;
+    let tol = (wall_ms * 0.05).max(0.2);
+    assert!(
+        (root_ms - wall_ms).abs() <= tol,
+        "root span {root_ms:.3} ms vs job wall {wall_ms:.3} ms (tol {tol:.3} ms)"
+    );
+    // The phase span parents under the root.
+    let root_idx = entry
+        .trace
+        .spans
+        .iter()
+        .position(|s| s.parent.is_none())
+        .expect("root index") as u32;
+    assert!(
+        entry
+            .trace
+            .spans
+            .iter()
+            .any(|s| s.name == "server.discover" && s.parent == Some(root_idx)),
+        "discover phase span must be a child of the root"
+    );
+    // Threshold zero: every job lands in the slow ring too.
+    assert!(server.slow_jobs().iter().any(|e| e.job == result.job));
+
+    // The rendered reply agrees with the tree.
+    let reply = protocol::handle_command(&server, &session, &["trace", &result.job.to_string()]);
+    assert!(reply.starts_with("{\"ok\":true"), "{reply}");
+    assert!(reply.contains("\"name\":\"server.job\""), "{reply}");
+    let missing = protocol::handle_command(&server, &session, &["trace", "999999"]);
+    assert!(missing.contains("no trace retained"), "{missing}");
+}
+
+/// Kills the `fdtool serve` child (and removes its socket) even when an
+/// assertion unwinds mid-gate.
+struct ServeChild {
+    child: std::process::Child,
+    socket: String,
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+/// The live acceptance gate. Opt-in (`OBS_GATE=1`, set by `scripts/check.sh
+/// --obs-gate`): spawns a real `fdtool serve` child and drives the whole
+/// observability surface over its Unix socket.
+#[test]
+fn obs_gate_live_server_round_trip() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    if std::env::var("OBS_GATE").is_err() {
+        return; // not running under scripts/check.sh --obs-gate
+    }
+    assert!(fd_telemetry::compiled(), "OBS_GATE needs --features telemetry");
+    let bin = env!("CARGO_BIN_EXE_fdtool");
+    let tag = std::process::id();
+    let sock = std::env::temp_dir().join(format!("fd-obs-gate-{tag}.sock"));
+    let prom = std::env::temp_dir().join(format!("fd-obs-gate-{tag}.prom"));
+    let sock = sock.to_string_lossy().into_owned();
+    let prom = prom.to_string_lossy().into_owned();
+    let child = std::process::Command::new(bin)
+        .args([
+            "serve",
+            "--socket",
+            &sock,
+            "--load",
+            "patient=data/patient.csv",
+            "--metrics-interval-ms",
+            "100",
+            "--slow-ms",
+            "0",
+            "--prom-out",
+            &prom,
+        ])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn fdtool serve");
+    let _guard = ServeChild { child, socket: sock.clone() };
+
+    // The child binds the socket after loading the dataset: retry briefly.
+    let stream = {
+        let mut attempt = 0;
+        loop {
+            match UnixStream::connect(&sock) {
+                Ok(s) => break s,
+                Err(e) if attempt < 100 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(50));
+                    let _ = e;
+                }
+                Err(e) => panic!("cannot connect to {sock}: {e}"),
+            }
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    fn send(
+        writer: &mut UnixStream,
+        reader: &mut BufReader<UnixStream>,
+        cmd: &str,
+    ) -> String {
+        writeln!(writer, "{cmd}").expect("write command");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        assert!(!line.is_empty(), "server hung up on '{cmd}'");
+        line.trim().to_owned()
+    }
+
+    // Three jobs: cold discover, keys, cache-hit discover.
+    let discover = send(&mut writer, &mut reader, "discover patient");
+    assert!(discover.starts_with("{\"ok\":true"), "{discover}");
+    let job = scan_u64(&discover, "job");
+    let keys = send(&mut writer, &mut reader, "keys patient");
+    assert!(keys.contains("\"keys\":"), "{keys}");
+    let cached = send(&mut writer, &mut reader, "discover patient");
+    assert!(cached.contains("\"from_cache\":true"), "{cached}");
+
+    // Let the 100 ms sampler close at least one window covering the jobs.
+    std::thread::sleep(Duration::from_millis(250));
+    let stats = send(&mut writer, &mut reader, "stats");
+    let total = scan_u64(&stats, "jobs_completed");
+    assert_eq!(total, 3, "{stats}");
+
+    // Live streaming: two fresh windows, monotone, with real durations.
+    writeln!(writer, "subscribe 2").expect("write subscribe");
+    writer.flush().expect("flush");
+    let mut seqs = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read window");
+        let line = line.trim();
+        assert!(line.contains("\"window\":true"), "{line}");
+        assert!(scan_u64(line, "window_ms") > 0, "window covers time: {line}");
+        assert!(scan_u64(line, "unix_ms") > 0, "{line}");
+        assert!(!line.contains(":null"), "no non-finite rates: {line}");
+        seqs.push(scan_u64(line, "seq"));
+    }
+    assert!(seqs[1] > seqs[0], "window sequence must be monotone: {seqs:?}");
+
+    // Aggregate metrics: the three jobs show up with a non-zero rate.
+    let metrics = send(&mut writer, &mut reader, "metrics");
+    assert!(metrics.starts_with("{\"ok\":true"), "{metrics}");
+    assert_eq!(scan_u64(&metrics, "server.jobs_completed"), 3, "{metrics}");
+    let rates = metrics.split("\"rates\":{").nth(1).expect("rates object");
+    let rate_str = rates
+        .split("\"server.jobs_completed\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .expect("jobs_completed rate");
+    let rate: f64 = rate_str.parse().expect("rate is a number");
+    assert!(rate > 0.0, "jobs_completed rate must be non-zero: {metrics}");
+    assert!(metrics.contains("\"p50\":"), "quantiles present: {metrics}");
+    assert!(metrics.contains("\"queue_depth\":"), "gauges present: {metrics}");
+
+    // Replaying every retained window must reproduce the stats totals.
+    let seq_first = scan_u64(&metrics, "seq_first");
+    let seq_last = scan_u64(&metrics, "seq_last");
+    assert_eq!(seq_first, 1, "nothing evicted in a short run: {metrics}");
+    writeln!(writer, "subscribe {seq_last} from=1").expect("write replay");
+    writer.flush().expect("flush");
+    let mut replayed = 0u64;
+    for _ in 0..seq_last {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read replayed window");
+        replayed += scan_u64(line.trim(), "server.jobs_completed");
+    }
+    assert_eq!(replayed, total, "replayed window deltas must sum to stats");
+
+    // Trace: the root span covers the job's reported wall within 5%.
+    let trace = send(&mut writer, &mut reader, &format!("trace {job}"));
+    assert!(trace.starts_with("{\"ok\":true"), "{trace}");
+    let wall_ms = scan_f64(&trace, "wall_ms");
+    let root_ms = scan_f64(&trace, "root_wall_ms");
+    assert!(wall_ms > 0.0, "{trace}");
+    let tol = (wall_ms * 0.05).max(0.1);
+    assert!(
+        (root_ms - wall_ms).abs() <= tol,
+        "trace root {root_ms:.3} ms vs job wall {wall_ms:.3} ms (tol {tol:.3}): {trace}"
+    );
+
+    // Prometheus exposition file: atomically rewritten, cumulative counters.
+    let text = std::fs::read_to_string(&prom).expect("prom file written");
+    assert!(text.contains("# TYPE fd_server_jobs_completed counter"), "{text}");
+    assert!(text.contains("# TYPE fd_queue_depth gauge"), "{text}");
+    assert!(!std::path::Path::new(&format!("{prom}.tmp")).exists(), "tmp renamed away");
+
+    // fdtool top renders a dashboard frame against the same socket.
+    let top = std::process::Command::new(bin)
+        .args(["top", &sock, "--iterations", "1"])
+        .output()
+        .expect("run fdtool top");
+    assert!(top.status.success(), "fdtool top failed: {:?}", top);
+    let top_out = String::from_utf8_lossy(&top.stdout);
+    assert!(top_out.contains("fd-server top"), "{top_out}");
+    assert!(top_out.contains("rates (/s):"), "{top_out}");
+
+    let bye = send(&mut writer, &mut reader, "quit");
+    assert!(bye.contains("\"bye\":true"), "{bye}");
+    let _ = std::fs::remove_file(&prom);
+}
+
+/// Extracts the float following `"key":` (handles integers too).
+fn scan_f64(line: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let Some(start) = line.find(&pat).map(|i| i + pat.len()) else {
+        return 0.0;
+    };
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or(0.0)
+}
